@@ -1,0 +1,200 @@
+(* Benchmark harness.
+
+   Two layers, both printed by this one executable:
+
+   1. The paper reproduction in virtual (cost-model) time: every table of
+      Experiment 1 and every figure (1, 2, 3) of Experiments 2-3, each
+      annotated with the published value, followed by the ablation studies
+      from DESIGN.md.
+
+   2. Host-hardware microbenchmarks (Bechamel): one Test per paper
+      artifact measuring what the corresponding code path costs on this
+      machine with all modelled costs zeroed, plus substrate
+      microbenchmarks.  These do not reproduce the paper's milliseconds
+      (the paper's numbers come from a 1987 VAX); they demonstrate the
+      implementation's real cost. *)
+
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Cost_model = Raid_core.Cost_model
+module Workload = Raid_core.Workload
+module Txn = Raid_core.Txn
+module Faillock = Raid_core.Faillock
+module Session = Raid_core.Session
+module Table = Raid_util.Table
+module Rng = Raid_util.Rng
+open Bechamel
+open Toolkit
+
+let section title =
+  Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* {2 Layer 1: paper reproduction in virtual time} *)
+
+let print_experiment1 () =
+  section "Experiment 1: overhead measurements (paper tables, virtual time)";
+  List.iter
+    (fun report ->
+      Table.print (Raid_sim.Experiment1.to_table report);
+      List.iter (fun note -> Printf.printf "  note: %s\n" note) report.Raid_sim.Experiment1.notes;
+      print_newline ())
+    (Raid_sim.Experiment1.all ())
+
+let print_experiment2 () =
+  section "Experiment 2: data availability on a recovering site (Figure 1)";
+  let e2 = Raid_sim.Experiment2.run () in
+  Raid_util.Chart.print (Raid_sim.Experiment2.figure e2);
+  print_newline ();
+  Table.print (Raid_sim.Experiment2.summary_table e2)
+
+let print_experiment3 () =
+  section "Experiment 3: consistency of replicated copies (Figures 2 and 3)";
+  let s1 = Raid_sim.Experiment3.scenario1 () in
+  Raid_util.Chart.print
+    (Raid_sim.Experiment3.figure
+       ~title:"Figure 2: database inconsistency (scenario 1: alternating 2-site failures)" s1);
+  print_newline ();
+  Table.print (Raid_sim.Experiment3.summary_table ~title:"Scenario 1 summary" s1);
+  let s2 = Raid_sim.Experiment3.scenario2 () in
+  Raid_util.Chart.print
+    (Raid_sim.Experiment3.figure
+       ~title:"Figure 3: database inconsistency (scenario 2: rolling 4-site failures)" s2);
+  print_newline ();
+  Table.print (Raid_sim.Experiment3.summary_table ~title:"Scenario 2 summary" s2)
+
+let print_scaling_and_robustness () =
+  section "Scaling and multi-seed robustness";
+  Table.print (Raid_sim.Scaling.control1_table (Raid_sim.Scaling.control1_scaling ()));
+  print_newline ();
+  Table.print
+    (Raid_sim.Scaling.experiment2_seeds_table (Raid_sim.Scaling.experiment2_seeds ()));
+  print_newline ();
+  Table.print (Raid_sim.Scaling.scenario1_seeds_table (Raid_sim.Scaling.scenario1_seeds ()));
+  print_newline ();
+  Table.print
+    (Raid_sim.Scaling.cluster_size_table (Raid_sim.Scaling.recovery_vs_cluster_size ()));
+  print_newline ();
+  Table.print (Raid_sim.Analysis.comparison_table ());
+  print_newline ();
+  Raid_util.Chart.print (Raid_sim.Analysis.figure ())
+
+let print_ablations () =
+  section "Ablation studies (DESIGN.md)";
+  List.iter
+    (fun table ->
+      Table.print table;
+      print_newline ())
+    (Raid_sim.Ablation.all_tables ());
+  Table.print (Raid_sim.Concurrent.sweep_table (Raid_sim.Concurrent.sweep ()));
+  print_newline ()
+
+(* {2 Layer 2: Bechamel host-hardware microbenchmarks} *)
+
+let bench_config ?(faillocks_enabled = true) () =
+  Config.make ~cost:Cost_model.zero ~faillocks_enabled ~num_sites:4 ~num_items:50 ()
+
+let txn_bench ~name ~faillocks_enabled =
+  let cluster = Cluster.create (bench_config ~faillocks_enabled ()) in
+  let workload =
+    Workload.create (Workload.Uniform { max_ops = 10; write_prob = 0.5 }) ~num_items:50
+      ~rng:(Rng.create 1)
+  in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let id = Cluster.next_txn_id cluster in
+         ignore (Cluster.submit cluster ~coordinator:0 (Workload.next workload ~id))))
+
+let control_cycle_bench =
+  let cluster = Cluster.create (bench_config ()) in
+  Test.make ~name:"table-2.2.2: control txn 1+2 (fail/recover cycle)"
+    (Staged.stage (fun () ->
+         Cluster.fail_site cluster 3;
+         match Cluster.recover_site cluster 3 with
+         | `Recovered -> ()
+         | `Blocked -> failwith "bench: recovery blocked"))
+
+let copier_trial_bench =
+  let cluster = Cluster.create (bench_config ()) in
+  let rng = Rng.create 2 in
+  Test.make ~name:"table-2.2.3: db txn incl. one copier txn"
+    (Staged.stage (fun () ->
+         let item = Rng.int rng 50 in
+         Cluster.fail_site cluster 3;
+         let id = Cluster.next_txn_id cluster in
+         ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write item ]));
+         (match Cluster.recover_site cluster 3 with
+         | `Recovered -> ()
+         | `Blocked -> failwith "bench: recovery blocked");
+         let id = Cluster.next_txn_id cluster in
+         ignore (Cluster.submit cluster ~coordinator:3 (Txn.make ~id [ Txn.Read item ]))))
+
+let figure_benches =
+  [
+    Test.make ~name:"figure-1: experiment 2 full run"
+      (Staged.stage (fun () -> ignore (Raid_sim.Experiment2.run ())));
+    Test.make ~name:"figure-2: experiment 3 scenario 1 full run"
+      (Staged.stage (fun () -> ignore (Raid_sim.Experiment3.scenario1 ())));
+    Test.make ~name:"figure-3: experiment 3 scenario 2 full run"
+      (Staged.stage (fun () -> ignore (Raid_sim.Experiment3.scenario2 ())));
+  ]
+
+let substrate_benches =
+  let faillocks = Faillock.create ~num_items:50 ~num_sites:4 in
+  let set_count = ref 0 and cleared = ref 0 in
+  let vector = Session.create ~num_sites:4 in
+  let bitset = Raid_util.Bitset.create 64 in
+  [
+    Test.make ~name:"substrate: fail-lock commit update (one item)"
+      (Staged.stage (fun () ->
+           Faillock.commit_update faillocks ~item:7 ~site_up:(fun s -> s <> 2) ~set:set_count
+             ~cleared));
+    Test.make ~name:"substrate: fail-lock table copy (50 items)"
+      (Staged.stage (fun () -> ignore (Faillock.copy faillocks)));
+    Test.make ~name:"substrate: session vector copy"
+      (Staged.stage (fun () -> ignore (Session.copy vector)));
+    Test.make ~name:"substrate: bitset set/clear"
+      (Staged.stage (fun () ->
+           Raid_util.Bitset.set bitset 33;
+           Raid_util.Bitset.clear bitset 33));
+  ]
+
+let run_bechamel () =
+  section "Host-hardware microbenchmarks (Bechamel; implementation cost, not paper times)";
+  let tests =
+    Test.make_grouped ~name:"raid"
+      ([
+         txn_bench ~name:"table-2.2.1: db txn, fail-locks code removed" ~faillocks_enabled:false;
+         txn_bench ~name:"table-2.2.1: db txn, fail-locks code included" ~faillocks_enabled:true;
+         control_cycle_bench;
+         copier_trial_bench;
+       ]
+      @ figure_benches @ substrate_benches)
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let table =
+    Table.create ~title:"nanoseconds per operation (OLS estimate)"
+      [ ("benchmark", Table.Left); ("ns/run", Table.Right); ("r2", Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+      Table.add_row table [ name; Printf.sprintf "%.0f" estimate; Printf.sprintf "%.4f" r2 ])
+    (List.sort compare rows);
+  Table.print table
+
+let () =
+  print_endline "RAID replicated copy control: benchmark harness";
+  print_endline "(paper: Bhargava, Noll, Sabo, ICDE 1988 / Purdue CSD-TR-692)";
+  print_experiment1 ();
+  print_experiment2 ();
+  print_experiment3 ();
+  print_ablations ();
+  print_scaling_and_robustness ();
+  run_bechamel ()

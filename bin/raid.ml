@@ -1,0 +1,233 @@
+(* The `raid` command-line interface: run the paper's experiments, the
+   ablation studies, or a custom failure/recovery scenario. *)
+
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Workload = Raid_core.Workload
+module Scenario = Raid_sim.Scenario
+module Runner = Raid_sim.Runner
+module Table = Raid_util.Table
+open Cmdliner
+
+let print_exp1 () =
+  List.iter
+    (fun report ->
+      Table.print (Raid_sim.Experiment1.to_table report);
+      List.iter (fun note -> Printf.printf "  note: %s\n" note) report.Raid_sim.Experiment1.notes;
+      print_newline ())
+    (Raid_sim.Experiment1.all ())
+
+let print_exp2 ?csv () =
+  let e2 = Raid_sim.Experiment2.run () in
+  Raid_util.Chart.print (Raid_sim.Experiment2.figure e2);
+  print_newline ();
+  Table.print (Raid_sim.Experiment2.summary_table e2);
+  match csv with
+  | None -> ()
+  | Some path ->
+    Raid_sim.Export.write_file ~path
+      (Raid_sim.Export.series_csv ~header:("txn", "faillocks_site_0")
+         e2.Raid_sim.Experiment2.series);
+    Printf.printf "figure data exported to %s\n" path
+
+let print_exp3 ?csv () =
+  let s1 = Raid_sim.Experiment3.scenario1 () in
+  Raid_util.Chart.print
+    (Raid_sim.Experiment3.figure ~title:"Figure 2: database inconsistency (scenario 1)" s1);
+  Table.print (Raid_sim.Experiment3.summary_table ~title:"Scenario 1 summary" s1);
+  print_newline ();
+  let s2 = Raid_sim.Experiment3.scenario2 () in
+  Raid_util.Chart.print
+    (Raid_sim.Experiment3.figure ~title:"Figure 3: database inconsistency (scenario 2)" s2);
+  Table.print (Raid_sim.Experiment3.summary_table ~title:"Scenario 2 summary" s2);
+  match csv with
+  | None -> ()
+  | Some path ->
+    Raid_sim.Export.write_file ~path
+      (Raid_sim.Export.multi_series_csv ~x_name:"txn"
+         (List.map
+            (fun (site, points) -> (Printf.sprintf "scenario2_site_%d" site, points))
+            s2.Raid_sim.Experiment3.series));
+    Printf.printf "figure data exported to %s\n" path
+
+(* `raid exp N` *)
+let exp_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("1", `One); ("2", `Two); ("3", `Three); ("all", `All) ])) None
+      & info [] ~docv:"EXPERIMENT" ~doc:"Which experiment to run: 1, 2, 3 or all.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export the figure's series as CSV (experiments 2-3).")
+  in
+  let run which csv =
+    match which with
+    | `One -> print_exp1 ()
+    | `Two -> print_exp2 ?csv ()
+    | `Three -> print_exp3 ?csv ()
+    | `All ->
+      print_exp1 ();
+      print_exp2 ?csv ();
+      print_exp3 ()
+  in
+  Cmd.v
+    (Cmd.info "exp" ~doc:"Reproduce one of the paper's experiments (tables and figures).")
+    Term.(const run $ which $ csv)
+
+(* `raid ablations` *)
+let ablations_cmd =
+  let run () =
+    List.iter
+      (fun table ->
+        Table.print table;
+        print_newline ())
+      (Raid_sim.Ablation.all_tables ())
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Run the ablation studies listed in DESIGN.md (A1-A6, A8-A9; A7 via `concurrency`).")
+    Term.(const run $ const ())
+
+(* `raid scenario` — a configurable single-outage scenario. *)
+let scenario_cmd =
+  let sites =
+    Arg.(value & opt int 2 & info [ "sites" ] ~docv:"N" ~doc:"Number of database sites.")
+  in
+  let items =
+    Arg.(value & opt int 50 & info [ "items" ] ~docv:"N" ~doc:"Hot-set size in data items.")
+  in
+  let max_ops =
+    Arg.(
+      value & opt int 5
+      & info [ "max-ops" ] ~docv:"N" ~doc:"Maximum operations per transaction.")
+  in
+  let write_prob =
+    Arg.(
+      value & opt float 0.5
+      & info [ "write-prob" ] ~docv:"P" ~doc:"Probability that an operation is a write.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let fail_site =
+    Arg.(value & opt int 0 & info [ "fail-site" ] ~docv:"SITE" ~doc:"Site to fail.")
+  in
+  let down_txns =
+    Arg.(
+      value & opt int 100
+      & info [ "down-txns" ] ~docv:"N" ~doc:"Transactions processed while the site is down.")
+  in
+  let max_recovery =
+    Arg.(
+      value & opt int 1000
+      & info [ "max-recovery-txns" ] ~docv:"N"
+          ~doc:"Bound on transactions processed during recovery.")
+  in
+  let two_step =
+    Arg.(
+      value & opt (some float) None
+      & info [ "two-step" ] ~docv:"THRESHOLD"
+          ~doc:"Enable two-step recovery with the given threshold (0..1).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Export per-transaction records as CSV.")
+  in
+  let run sites items max_ops write_prob seed fail_site down_txns max_recovery two_step csv =
+    if fail_site < 0 || fail_site >= sites then
+      invalid_arg "scenario: --fail-site out of range";
+    let recovery =
+      match two_step with
+      | None -> Config.On_demand
+      | Some threshold -> Config.Two_step { threshold; batch_size = 8 }
+    in
+    let config = Config.make ~recovery ~num_sites:sites ~num_items:items () in
+    let scenario =
+      Scenario.make ~seed ~config
+        ~workload:(Workload.Uniform { max_ops; write_prob })
+        [
+          Scenario.Fail fail_site;
+          Scenario.Run_txns down_txns;
+          Scenario.Recover fail_site;
+          Scenario.Run_until_recovered { site = fail_site; max_txns = max_recovery };
+        ]
+    in
+    let result = Runner.run scenario in
+    let chart =
+      Raid_util.Chart.create
+        ~title:
+          (Printf.sprintf "fail-locks for site %d (db=%d, txn<=%d, P(write)=%.2f)" fail_site
+             items max_ops write_prob)
+        ~x_label:"number of transactions" ~y_label:"fail-locks set" ()
+    in
+    Raid_util.Chart.add_series chart
+      {
+        Raid_util.Chart.label = Printf.sprintf "site %d" fail_site;
+        glyph = '*';
+        points = Runner.series result ~site:fail_site;
+      };
+    Raid_util.Chart.print chart;
+    Printf.printf "\ntransactions: %d committed, %d aborted\n" result.Runner.committed
+      result.Runner.aborted;
+    Printf.printf "fully consistent at end: %b\n"
+      (Cluster.fully_consistent result.Runner.cluster);
+    List.iter
+      (fun (name, value) -> Printf.printf "%-28s %d\n" name value)
+      (Raid_core.Metrics.snapshot_counts (Cluster.metrics result.Runner.cluster));
+    match csv with
+    | None -> ()
+    | Some path ->
+      Raid_sim.Export.write_file ~path (Raid_sim.Export.records_csv result);
+      Printf.printf "records exported to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Run a custom fail/recover scenario and plot the fail-lock series.")
+    Term.(
+      const run $ sites $ items $ max_ops $ write_prob $ seed $ fail_site $ down_txns
+      $ max_recovery $ two_step $ csv)
+
+(* `raid concurrency` *)
+let concurrency_cmd =
+  let levels =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8; 16 ]
+      & info [ "levels" ] ~docv:"N,N,..." ~doc:"Concurrency levels to sweep.")
+  in
+  let txns =
+    Arg.(value & opt int 200 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per level.")
+  in
+  let run levels txns =
+    Table.print (Raid_sim.Concurrent.sweep_table (Raid_sim.Concurrent.sweep ~levels ~txns ()))
+  in
+  Cmd.v
+    (Cmd.info "concurrency"
+       ~doc:"Sweep concurrent transaction processing levels (conservative strict 2PL).")
+    Term.(const run $ levels $ txns)
+
+(* `raid repl` *)
+let repl_cmd =
+  let sites = Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.") in
+  let items = Arg.(value & opt int 50 & info [ "items" ] ~docv:"N" ~doc:"Data items.") in
+  let max_ops =
+    Arg.(value & opt int 5 & info [ "max-ops" ] ~docv:"N" ~doc:"Max operations per random txn.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let run sites items max_ops seed =
+    Raid_sim.Console.run_stdin (Raid_sim.Console.create ~sites ~items ~max_ops ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive managing-site console (fail/recover sites, run txns).")
+    Term.(const run $ sites $ items $ max_ops $ seed)
+
+let main_cmd =
+  let doc =
+    "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
+  in
+  Cmd.group
+    (Cmd.info "raid" ~version:"1.0.0" ~doc)
+    [ exp_cmd; ablations_cmd; scenario_cmd; concurrency_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,31 @@
+(* Concurrent transaction processing (the paper's "complete RAID"
+   future-work direction).
+
+   The serial managing site processes one transaction at a time, as the
+   paper did.  With the conservative strict-2PL extension, non-conflicting
+   transactions overlap: the batch's virtual-time makespan shrinks with
+   the concurrency level until hot-set conflicts saturate it.
+
+   Run with: dune exec examples/concurrent_processing.exe *)
+
+let () =
+  print_endline "200 transactions, 4 sites, 50-item hot set, P(write)=0.5:";
+  print_newline ();
+  Raid_util.Table.print
+    (Raid_sim.Concurrent.sweep_table (Raid_sim.Concurrent.sweep ~txns:200 ()));
+  print_newline ();
+  print_endline
+    "Every level produces byte-identical replicas and the same final\n\
+     database as the serial run: conflicting transactions are serialised\n\
+     in id order by the lock table, so the schedule stays equivalent.";
+  (* Prove the claim for one pair of levels. *)
+  let config = Raid_core.Config.make ~num_sites:4 ~num_items:50 () in
+  let workload = Raid_core.Workload.Uniform { max_ops = 5; write_prob = 0.5 } in
+  let snapshot level =
+    let result = Raid_sim.Concurrent.run ~seed:9 ~concurrency:level ~txns:150 ~config ~workload () in
+    Raid_storage.Database.snapshot
+      (Raid_core.Site.database (Raid_core.Cluster.site result.Raid_sim.Concurrent.cluster 0))
+  in
+  let equal = snapshot 1 = snapshot 8 in
+  Printf.printf "\nserial and concurrency-8 final states identical: %b\n" equal;
+  if not equal then exit 1

@@ -1,0 +1,54 @@
+(* Quickstart: a three-site replicated database running the ROWAA
+   protocol with fail-locks.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Txn = Raid_core.Txn
+module Metrics = Raid_core.Metrics
+module Site = Raid_core.Site
+
+let show fmt = Printf.printf fmt
+
+let () =
+  (* A cluster of 3 sites replicating 20 data items.  The default
+     configuration uses the cost model calibrated to the paper; virtual
+     times below are therefore comparable to its tables. *)
+  let cluster = Cluster.create (Config.make ~num_sites:3 ~num_items:20 ()) in
+
+  (* Submit a transaction: reads and writes on items, committed through
+     the two-phase commit protocol of the paper's Appendix A. *)
+  let id = Cluster.next_txn_id cluster in
+  let outcome =
+    Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 5; Txn.Read 5; Txn.Write 9 ])
+  in
+  show "txn %d committed=%b in %.1f ms (virtual)\n" id outcome.Metrics.committed
+    (Raid_net.Vtime.to_ms outcome.Metrics.elapsed);
+
+  (* Fail a site.  ROWAA keeps processing: writes skip the dead site and
+     set fail-locks on its behalf. *)
+  Cluster.fail_site cluster 2;
+  let id = Cluster.next_txn_id cluster in
+  let outcome = Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 5 ]) in
+  show "with site 2 down: txn %d committed=%b\n" id outcome.Metrics.committed;
+  show "items fail-locked for site 2: %s\n"
+    (String.concat ", " (List.map string_of_int (Cluster.faillocks_for cluster 2)));
+
+  (* Recover the site: control transaction type 1 fetches the session
+     vector and fail-locks, so the site knows exactly which copies are
+     out of date and can serve the rest immediately. *)
+  (match Cluster.recover_site cluster 2 with
+  | `Recovered -> show "site 2 recovered (session %d)\n" (Site.session_number (Cluster.site cluster 2))
+  | `Blocked -> show "site 2 blocked: no operational donor\n");
+
+  (* A read of the stale copy at the recovered site triggers a copier
+     transaction that refreshes it on demand. *)
+  let id = Cluster.next_txn_id cluster in
+  let outcome = Cluster.submit cluster ~coordinator:2 (Txn.make ~id [ Txn.Read 5 ]) in
+  show "read at recovered site: copiers=%d value read=%s\n" outcome.Metrics.copier_requests
+    (match outcome.Metrics.reads with
+    | [ (item, value, version) ] -> Printf.sprintf "item %d = %d (v%d)" item value version
+    | _ -> "?");
+
+  show "cluster fully consistent: %b\n" (Cluster.fully_consistent cluster)

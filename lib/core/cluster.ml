@@ -1,0 +1,173 @@
+module Engine = Raid_net.Engine
+module Database = Raid_storage.Database
+
+type detection = Immediate | On_timeout
+
+type t = {
+  config : Config.t;
+  detection : detection;
+  engine : Message.t Engine.t;
+  sites : Site.t array;
+  metrics : Metrics.t;
+  mutable outcomes_rev : Metrics.outcome list;
+  mutable last_outcome : Metrics.outcome option;
+  mutable next_id : int;
+  committed_versions : int array;
+  mutable outcome_hook : (Metrics.outcome -> unit) option;
+}
+
+let create ?(detection = Immediate) ?(trace = false) config =
+  let metrics = Metrics.create () in
+  let engine =
+    Engine.create ~message_latency:config.Config.cost.Cost_model.message_latency ~trace
+      ~num_sites:config.Config.num_sites ()
+  in
+  let cluster_ref = ref None in
+  let on_outcome outcome =
+    match !cluster_ref with
+    | None -> ()
+    | Some t ->
+      t.outcomes_rev <- outcome :: t.outcomes_rev;
+      t.last_outcome <- Some outcome;
+      if outcome.Metrics.committed then
+        List.iter
+          (fun { Database.item; version; _ } ->
+            if version > t.committed_versions.(item) then
+              t.committed_versions.(item) <- version)
+          outcome.Metrics.writes;
+      match t.outcome_hook with None -> () | Some hook -> hook outcome
+  in
+  let sites =
+    Array.init config.Config.num_sites (fun id ->
+        Site.create ~id ~config ~metrics ~on_outcome ())
+  in
+  Array.iteri (fun id site -> Engine.register engine id (Site.handler site)) sites;
+  let t =
+    {
+      config;
+      detection;
+      engine;
+      sites;
+      metrics;
+      outcomes_rev = [];
+      last_outcome = None;
+      next_id = 0;
+      committed_versions = Array.make config.Config.num_items 0;
+      outcome_hook = None;
+    }
+  in
+  cluster_ref := Some t;
+  t
+
+let config t = t.config
+let metrics t = t.metrics
+let engine t = t.engine
+let num_sites t = Array.length t.sites
+
+let site t i =
+  if i < 0 || i >= Array.length t.sites then invalid_arg "Cluster.site: bad site id";
+  t.sites.(i)
+
+let alive t i = Engine.alive t.engine i
+
+let alive_sites t =
+  List.filter (alive t) (List.init (num_sites t) Fun.id)
+
+let run_to_quiescence t = Engine.run t.engine
+
+let fail_site t i =
+  if alive t i then begin
+    Engine.set_alive t.engine i false;
+    Site.on_crash (site t i);
+    (match t.detection with
+    | On_timeout -> ()
+    | Immediate -> begin
+      match List.find_opt (fun s -> s <> i) (alive_sites t) with
+      | None -> ()
+      | Some witness ->
+        Engine.inject t.engine ~dst:witness (Message.Failure_noticed [ i ]);
+        run_to_quiescence t
+    end)
+  end
+
+let terminate_site t i =
+  if alive t i then begin
+    Engine.inject t.engine ~dst:i Message.Terminate_command;
+    run_to_quiescence t;
+    Engine.set_alive t.engine i false;
+    Site.on_crash (site t i)
+  end
+
+let recover_site t i =
+  if alive t i then invalid_arg "Cluster.recover_site: site is already up";
+  Engine.set_alive t.engine i true;
+  Engine.inject t.engine ~dst:i Message.Recover_command;
+  run_to_quiescence t;
+  if Site.is_waiting (site t i) then `Blocked else `Recovered
+
+let next_txn_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let inject_txn t ~coordinator txn =
+  if not (alive t coordinator) then invalid_arg "Cluster.submit: coordinator is down";
+  if Site.is_waiting (site t coordinator) then
+    invalid_arg "Cluster.submit: coordinator is still waiting to recover";
+  Engine.inject t.engine ~dst:coordinator (Message.Begin_txn txn)
+
+let set_outcome_hook t hook = t.outcome_hook <- hook
+
+let submit t ~coordinator txn =
+  t.last_outcome <- None;
+  inject_txn t ~coordinator txn;
+  run_to_quiescence t;
+  match t.last_outcome with
+  | Some outcome -> outcome
+  | None -> failwith "Cluster.submit: transaction produced no outcome (protocol bug)"
+
+let outcomes t = List.rev t.outcomes_rev
+
+(* {2 Oracle views} *)
+
+let faillocks_for t target =
+  let items = ref [] in
+  for item = t.config.Config.num_items - 1 downto 0 do
+    let locked =
+      List.exists
+        (fun s -> Faillock.is_locked (Site.faillocks t.sites.(s)) ~item ~site:target)
+        (alive_sites t)
+    in
+    if locked then items := item :: !items
+  done;
+  !items
+
+let faillock_count_for t target = List.length (faillocks_for t target)
+
+let total_faillocks t =
+  let total = ref 0 in
+  for s = 0 to num_sites t - 1 do
+    total := !total + faillock_count_for t s
+  done;
+  !total
+
+let reference_version t item =
+  List.fold_left
+    (fun acc s ->
+      match Database.version (Site.database t.sites.(s)) item with
+      | None -> acc
+      | Some v -> ( match acc with None -> Some v | Some best -> Some (max best v) ))
+    None (alive_sites t)
+
+let committed_version t item =
+  if item < 0 || item >= Array.length t.committed_versions then
+    invalid_arg "Cluster.committed_version: bad item";
+  t.committed_versions.(item)
+
+let fully_consistent t =
+  match alive_sites t with
+  | [] -> true
+  | first :: rest ->
+    List.for_all
+      (fun s -> Database.equal (Site.database t.sites.(s)) (Site.database t.sites.(first)))
+      rest
+    && total_faillocks t = 0

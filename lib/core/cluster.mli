@@ -1,0 +1,115 @@
+(** The managing site: builds a cluster and drives it.
+
+    The paper's managing site "provide[s] interactive control of system
+    actions ... used to cause sites to fail and recover and to initiate a
+    database transaction to a site" (§1.2).  This module is that driver:
+    it owns the engine and the sites, injects transactions serially (the
+    paper processes transactions serially, with no concurrency control),
+    fails and recovers sites at transaction boundaries, and exposes the
+    oracle views (global fail-lock counts, reference versions) the
+    experiment harness plots.
+
+    Failure detection modes:
+    - [Immediate]: when a site is failed, the managing site immediately
+      tells the lowest-numbered surviving site, which runs control
+      transaction type 2.  This matches how the paper's experiments stage
+      failures between numbered transactions.
+    - [On_timeout]: survivors only learn of a failure when a send to the
+      dead site times out during a later transaction (Appendix A's
+      "site is now down" branches), which then aborts that transaction
+      and runs control-2. *)
+
+type detection = Immediate | On_timeout
+
+type t
+
+val create : ?detection:detection -> ?trace:bool -> Config.t -> t
+(** A fresh cluster: all sites up, databases identical, no fail-locks.
+    [detection] defaults to [Immediate]. *)
+
+val config : t -> Config.t
+val metrics : t -> Metrics.t
+val engine : t -> Message.t Raid_net.Engine.t
+val num_sites : t -> int
+val site : t -> int -> Site.t
+
+val alive : t -> int -> bool
+val alive_sites : t -> int list
+
+val fail_site : t -> int -> unit
+(** Crash a site between transactions.  Volatile state is lost; database,
+    fail-locks and session vector survive.  No-op if already down.
+    Under [Immediate] detection the survivors' session vectors are
+    updated before this returns. *)
+
+val terminate_site : t -> int -> unit
+(** Graceful shutdown: the site announces its departure (the paper's
+    [Terminating] session state), survivors update their vectors without
+    control transaction 2 or timeouts, and the site then stops.  It
+    rejoins later through the normal recovery protocol. *)
+
+val recover_site : t -> int -> [ `Recovered | `Blocked ]
+(** Bring a down site back: control transaction type 1 runs to
+    completion.  [`Blocked] when no operational donor exists (the site
+    stays in the waiting state and can be recovered again later).
+    @raise Invalid_argument if the site is already up. *)
+
+val submit : t -> coordinator:int -> Txn.t -> Metrics.outcome
+(** Hand a database transaction to [coordinator] and run the system to
+    quiescence; returns the transaction's outcome.  Transaction ids must
+    be fresh and increasing across the life of the cluster (use
+    {!next_txn_id}).
+    @raise Invalid_argument if the coordinator is down or waiting. *)
+
+val next_txn_id : t -> int
+(** Serial transaction numbers starting at 1, as in the paper. *)
+
+val outcomes : t -> Metrics.outcome list
+(** Every outcome so far, in submission order. *)
+
+val run_to_quiescence : t -> unit
+(** Drain pending events (normally a no-op; every driver call already
+    runs to quiescence). *)
+
+(** {2 Concurrent driving}
+
+    The concurrency extension ({!Raid_sim.Concurrent}) keeps several
+    transactions in flight: it injects without draining and reacts to
+    completions through a hook. *)
+
+val inject_txn : t -> coordinator:int -> Txn.t -> unit
+(** Hand a transaction to a coordinator {e without} running the engine;
+    combine with {!run_to_quiescence} and {!set_outcome_hook}.  The
+    caller is responsible for never injecting conflicting transactions
+    concurrently (see {!Lock_manager}).
+    @raise Invalid_argument if the coordinator is down or waiting. *)
+
+val set_outcome_hook : t -> (Metrics.outcome -> unit) option -> unit
+(** Called on every transaction outcome, in completion order, in
+    addition to the internal bookkeeping. *)
+
+(** {2 Oracle views}
+
+    Computed over the union of the {e alive} sites' fail-lock tables —
+    down sites' tables are frozen and may be stale. *)
+
+val faillocks_for : t -> int -> int list
+(** Items currently fail-locked for the given site, per the union view —
+    the y-value the paper's figures plot per site. *)
+
+val faillock_count_for : t -> int -> int
+
+val total_faillocks : t -> int
+(** Set bits in the union view, over all items and sites. *)
+
+val reference_version : t -> int -> int option
+(** Highest version of an item among alive sites storing it ([None] when
+    no alive site stores it). *)
+
+val committed_version : t -> int -> int
+(** Highest version ever committed for the item (0 initially), from the
+    outcome history. *)
+
+val fully_consistent : t -> bool
+(** All alive sites' databases equal and the union fail-lock view empty —
+    the paper's "completely recovered" condition when all sites are up. *)

@@ -1,0 +1,73 @@
+type replication = Full | Partial of bool array array
+
+type durability = In_memory | Durable_wal of { checkpoint_interval : int }
+
+type recovery_policy = On_demand | Two_step of { threshold : float; batch_size : int }
+
+type t = {
+  num_sites : int;
+  num_items : int;
+  cost : Cost_model.t;
+  replication : replication;
+  recovery : recovery_policy;
+  spawn_backups : bool;
+  durability : durability;
+  embed_clears : bool;
+  faillocks_enabled : bool;
+}
+
+let validate t =
+  if t.num_sites <= 0 then invalid_arg "Config: num_sites must be positive";
+  if t.num_sites > 64 then invalid_arg "Config: at most 64 sites supported";
+  if t.num_items <= 0 then invalid_arg "Config: num_items must be positive";
+  (match t.replication with
+  | Full -> ()
+  | Partial placement ->
+    if Array.length placement <> t.num_sites then
+      invalid_arg "Config: placement must have one row per site";
+    Array.iter
+      (fun row ->
+        if Array.length row <> t.num_items then
+          invalid_arg "Config: placement rows must have one entry per item")
+      placement;
+    for item = 0 to t.num_items - 1 do
+      let holders = Array.fold_left (fun acc row -> if row.(item) then acc + 1 else acc) 0 placement in
+      if holders = 0 then
+        invalid_arg (Printf.sprintf "Config: item %d has no copy under the placement" item)
+    done);
+  (match t.durability with
+  | In_memory -> ()
+  | Durable_wal { checkpoint_interval } ->
+    if checkpoint_interval <= 0 then
+      invalid_arg "Config: checkpoint_interval must be positive");
+  (match t.recovery with
+  | On_demand -> ()
+  | Two_step { threshold; batch_size } ->
+    if threshold < 0.0 || threshold > 1.0 then
+      invalid_arg "Config: two-step threshold outside [0,1]";
+    if batch_size <= 0 then invalid_arg "Config: two-step batch_size must be positive");
+  t
+
+let make ?(cost = Cost_model.calibrated) ?(replication = Full) ?(recovery = On_demand)
+    ?(spawn_backups = false) ?(durability = In_memory) ?(embed_clears = false)
+    ?(faillocks_enabled = true) ~num_sites ~num_items () =
+  validate
+    {
+      num_sites;
+      num_items;
+      cost;
+      replication;
+      recovery;
+      spawn_backups;
+      durability;
+      embed_clears;
+      faillocks_enabled;
+    }
+
+let stores t ~site ~item =
+  if site < 0 || site >= t.num_sites then invalid_arg "Config.stores: bad site";
+  if item < 0 || item >= t.num_items then invalid_arg "Config.stores: bad item";
+  match t.replication with Full -> true | Partial placement -> placement.(site).(item)
+
+let paper_experiment1 = make ~num_sites:4 ~num_items:50 ()
+let paper_experiment2 = make ~num_sites:2 ~num_items:50 ()

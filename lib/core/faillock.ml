@@ -1,0 +1,94 @@
+module Bitset = Raid_util.Bitset
+
+type t = { num_sites : int; maps : Bitset.t array }
+
+let create ~num_items ~num_sites =
+  if num_items < 0 then invalid_arg "Faillock.create: negative num_items";
+  if num_sites <= 0 then invalid_arg "Faillock.create: num_sites must be positive";
+  { num_sites; maps = Array.init num_items (fun _ -> Bitset.create num_sites) }
+
+let num_items t = Array.length t.maps
+let num_sites t = t.num_sites
+
+let map t item =
+  if item < 0 || item >= Array.length t.maps then invalid_arg "Faillock: item out of range";
+  t.maps.(item)
+
+let is_locked t ~item ~site = Bitset.mem (map t item) site
+
+let set t ~item ~site =
+  let m = map t item in
+  let fresh = not (Bitset.mem m site) in
+  Bitset.set m site;
+  fresh
+
+let clear t ~item ~site =
+  let m = map t item in
+  let was_set = Bitset.mem m site in
+  Bitset.clear m site;
+  was_set
+
+let commit_update t ~item ~site_up ~set:set_count ~cleared =
+  let m = map t item in
+  for site = 0 to t.num_sites - 1 do
+    if site_up site then begin
+      if Bitset.mem m site then begin
+        Bitset.clear m site;
+        incr cleared
+      end
+    end
+    else if not (Bitset.mem m site) then begin
+      Bitset.set m site;
+      incr set_count
+    end
+  done
+
+let locked_items_for t ~site =
+  let locked = ref [] in
+  for item = Array.length t.maps - 1 downto 0 do
+    if Bitset.mem t.maps.(item) site then locked := item :: !locked
+  done;
+  !locked
+
+let count_for t ~site =
+  let count = ref 0 in
+  Array.iter (fun m -> if Bitset.mem m site then incr count) t.maps;
+  !count
+
+let locked_sites t ~item = Bitset.to_list (map t item)
+let any_locked t ~item = not (Bitset.is_empty (map t item))
+
+let clear_sites t ~item ~sites =
+  List.fold_left (fun acc site -> if clear t ~item ~site then acc + 1 else acc) 0 sites
+
+let copy t = { t with maps = Array.map Bitset.copy t.maps }
+
+let check_shape t from =
+  if num_items t <> num_items from || t.num_sites <> from.num_sites then
+    invalid_arg "Faillock: shape mismatch"
+
+let install t ~from =
+  check_shape t from;
+  Array.iteri
+    (fun item m ->
+      Bitset.clear_all t.maps.(item);
+      Bitset.union_into ~dst:t.maps.(item) m)
+    from.maps
+
+let merge t ~from =
+  check_shape t from;
+  Array.iteri (fun item m -> Bitset.union_into ~dst:t.maps.(item) m) from.maps
+
+let total_locked t = Array.fold_left (fun acc m -> acc + Bitset.cardinal m) 0 t.maps
+
+let equal a b =
+  num_items a = num_items b && a.num_sites = b.num_sites
+  && Array.for_all2 Bitset.equal a.maps b.maps
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun item m ->
+      if not (Bitset.is_empty m) then Format.fprintf ppf "item %3d: %a@," item Bitset.pp m)
+    t.maps;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,66 @@
+(** Fail-lock tables (paper §1.1-1.2).
+
+    "A replicated copy control algorithm uses a fail-lock to represent the
+    fact that a copy of a data item is being updated while some other
+    copies are unavailable due to site failure."  Implementation follows
+    the paper: one bitmap per data item, one bit per site; bit [k] set for
+    item [i] means site [k]'s copy of item [i] missed an update.  The
+    table is fully replicated: every operational site maintains bits on
+    behalf of every failed site. *)
+
+type t
+
+val create : num_items:int -> num_sites:int -> t
+(** All bits clear. *)
+
+val num_items : t -> int
+val num_sites : t -> int
+
+val set : t -> item:int -> site:int -> bool
+(** Returns [true] if the bit transitioned from clear to set (used to
+    count newly created inconsistency).  @raise Invalid_argument out of
+    range. *)
+
+val clear : t -> item:int -> site:int -> bool
+(** Returns [true] if the bit transitioned from set to clear. *)
+
+val is_locked : t -> item:int -> site:int -> bool
+
+val commit_update : t -> item:int -> site_up:(int -> bool) -> set:int ref -> cleared:int ref -> unit
+(** The paper's per-commit rule (§1.2): "the fail-lock for each site was
+    cleared if the site was up and set for each failed site" — applied
+    unconditionally to every site's bit of a committed item, which the
+    paper found cheaper than conditional maintenance.  Transition counts
+    are accumulated into [set]/[cleared]. *)
+
+val locked_items_for : t -> site:int -> int list
+(** Items whose bit for [site] is set (a recovering site's out-of-date
+    copies), increasing order. *)
+
+val count_for : t -> site:int -> int
+(** Number of items fail-locked for a site — the y-axis of the paper's
+    figures. *)
+
+val locked_sites : t -> item:int -> int list
+(** Sites that have missed updates on this item. *)
+
+val any_locked : t -> item:int -> bool
+
+val clear_sites : t -> item:int -> sites:int list -> int
+(** Clear the given sites' bits on one item; returns the number of bits
+    actually cleared. *)
+
+val copy : t -> t
+
+val install : t -> from:t -> unit
+(** Replace contents (control-1 installation).  @raise Invalid_argument
+    on shape mismatch. *)
+
+val merge : t -> from:t -> unit
+(** Bitwise union (used when reconciling fail-lock knowledge). *)
+
+val total_locked : t -> int
+(** Total set bits over all items and sites. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,35 @@
+(** Protocol invariant checkers.
+
+    These implement the DESIGN.md §5 invariants as executable checks over
+    a quiescent cluster; unit tests and qcheck properties call them after
+    random failure/recovery/transaction schedules.  Each checker returns
+    [Ok ()] or [Error description]. *)
+
+type result = (unit, string) Stdlib.result
+
+val faillocks_track_staleness : Cluster.t -> result
+(** For every alive, non-waiting site [s] and item [i] stored by [s]:
+    [s]'s copy is behind the reference version among alive sites iff the
+    union fail-lock view has bit [(i, s)] set. *)
+
+val no_stale_reads : Cluster.t -> result
+(** Every read in every committed outcome returned the newest version
+    committed before the reading transaction (or the reader's own write). *)
+
+val write_durability : Cluster.t -> operational_at_commit:(int -> int list) -> result
+(** For each committed transaction [id], every site in
+    [operational_at_commit id] that stores a written item has that write
+    in its update log.  The caller supplies the operational sets it
+    observed when submitting (the cluster cannot reconstruct them). *)
+
+val convergence : Cluster.t -> result
+(** With every site up: all databases equal and no fail-locks set.  Use
+    after the recovery protocol should have completed. *)
+
+val session_vectors_sane : Cluster.t -> result
+(** Alive, non-waiting sites agree on which sites are up, and no alive
+    site's perceived session number for a site exceeds that site's own. *)
+
+val all : Cluster.t -> result
+(** [faillocks_track_staleness], [no_stale_reads] and
+    [session_vectors_sane] in sequence (the always-applicable checks). *)

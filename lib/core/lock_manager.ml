@@ -1,0 +1,81 @@
+type mode = Shared | Exclusive
+
+type t = {
+  table : (int, (int * mode) list) Hashtbl.t;  (* item -> holders *)
+  held : (int, (int * mode) list) Hashtbl.t;  (* txn -> its locks *)
+}
+
+let create ~num_items =
+  if num_items < 0 then invalid_arg "Lock_manager.create: negative num_items";
+  { table = Hashtbl.create (max 16 num_items); held = Hashtbl.create 16 }
+
+(* Collapse duplicate requests on the same item to the strongest mode. *)
+let normalize requests =
+  let strongest = Hashtbl.create 8 in
+  List.iter
+    (fun (item, mode) ->
+      match (Hashtbl.find_opt strongest item, mode) with
+      | Some Exclusive, _ -> ()
+      | _, mode -> Hashtbl.replace strongest item mode)
+    requests;
+  Hashtbl.fold (fun item mode acc -> (item, mode) :: acc) strongest []
+
+let compatible ~requested ~holding =
+  match (requested, holding) with Shared, Shared -> true | _ -> false
+
+let available t ~txn (item, mode) =
+  match Hashtbl.find_opt t.table item with
+  | None | Some [] -> true
+  | Some holders ->
+    List.for_all
+      (fun (holder, held_mode) -> holder = txn || compatible ~requested:mode ~holding:held_mode)
+      holders
+
+let try_acquire t ~txn requests =
+  if Hashtbl.mem t.held txn then invalid_arg "Lock_manager.try_acquire: txn already holds locks";
+  let requests = normalize requests in
+  if List.for_all (available t ~txn) requests then begin
+    List.iter
+      (fun (item, mode) ->
+        let holders = Option.value ~default:[] (Hashtbl.find_opt t.table item) in
+        Hashtbl.replace t.table item ((txn, mode) :: holders))
+      requests;
+    Hashtbl.replace t.held txn requests;
+    true
+  end
+  else false
+
+let release_all t ~txn =
+  match Hashtbl.find_opt t.held txn with
+  | None -> ()
+  | Some locks ->
+    Hashtbl.remove t.held txn;
+    List.iter
+      (fun (item, _) ->
+        let holders =
+          List.filter (fun (holder, _) -> holder <> txn)
+            (Option.value ~default:[] (Hashtbl.find_opt t.table item))
+        in
+        if holders = [] then Hashtbl.remove t.table item
+        else Hashtbl.replace t.table item holders)
+      locks
+
+let conflicts a b =
+  let a = normalize a and b = normalize b in
+  List.exists
+    (fun (item, mode_a) ->
+      List.exists
+        (fun (item_b, mode_b) ->
+          item = item_b && not (compatible ~requested:mode_a ~holding:mode_b))
+        b)
+    a
+
+let holders t item = Option.value ~default:[] (Hashtbl.find_opt t.table item)
+
+let locked_count t = Hashtbl.length t.table
+
+let of_txn txn =
+  let writes = Txn.write_items txn in
+  let reads = List.filter (fun item -> not (List.mem item writes)) (Txn.read_items txn) in
+  List.map (fun item -> (item, Exclusive)) writes
+  @ List.map (fun item -> (item, Shared)) reads

@@ -1,0 +1,51 @@
+(** Conservative strict two-phase locking.
+
+    The paper processed transactions serially and left concurrency
+    control to "the complete RAID system" (§5); this module is that
+    extension.  Because a transaction's read and write sets are known
+    when it is submitted (operations are declared up front), we use
+    {e conservative} (static) 2PL: all locks are acquired atomically
+    before the transaction starts and held until it completes, so
+    deadlock is impossible by construction and every execution is
+    conflict-serializable in lock-acquisition order.
+
+    The table is a managing-site-level structure: the concurrent driver
+    ({!Raid_sim.Concurrent}) acquires locks before injecting a
+    transaction and releases them when its outcome arrives.  Sites never
+    see conflicting concurrent transactions, which keeps the per-item
+    version order (versions are transaction ids) intact — the driver also
+    refuses to start a transaction out of id order with a {e conflicting}
+    waiting one. *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : num_items:int -> t
+(** @raise Invalid_argument on negative [num_items]. *)
+
+val try_acquire : t -> txn:int -> (int * mode) list -> bool
+(** Atomically acquire every requested lock, or none.  Shared locks are
+    compatible with shared locks of other transactions; exclusive locks
+    with nothing.  Requesting an item twice (e.g. read and write) is
+    allowed — the strongest mode wins.  A transaction already holding
+    locks must not acquire again.
+    @raise Invalid_argument on out-of-range items or if [txn] already
+    holds locks. *)
+
+val release_all : t -> txn:int -> unit
+(** Release everything [txn] holds (no-op if it holds nothing). *)
+
+val conflicts : (int * mode) list -> (int * mode) list -> bool
+(** Would these two lock sets conflict?  (Used for the driver's
+    id-order admission rule.) *)
+
+val holders : t -> int -> (int * mode) list
+(** Current holders of one item's lock, as (txn, mode). *)
+
+val locked_count : t -> int
+(** Number of items currently locked in any mode. *)
+
+val of_txn : Txn.t -> (int * mode) list
+(** The lock set a transaction needs: exclusive on written items,
+    shared on items only read. *)

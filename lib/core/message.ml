@@ -1,0 +1,51 @@
+type t =
+  | Begin_txn of Txn.t
+  | Recover_command
+  | Failure_noticed of int list
+  | Terminate_command
+  | Departure_announce of { site : int }
+  | Prepare of { txn : int; writes : Raid_storage.Database.write list; cleared : int list }
+  | Prepare_ack of { txn : int }
+  | Commit of { txn : int }
+  | Commit_ack of { txn : int }
+  | Abort of { txn : int; cleared : int list }
+  | Copy_request of { txn : int; items : int list }
+  | Copy_reply of { txn : int; writes : Raid_storage.Database.write list }
+  | Copy_unavailable of { txn : int; items : int list }
+  | Faillocks_cleared of { site : int; items : int list }
+  | Recovery_announce of { site : int; session : int; want_state : bool }
+  | Recovery_state of { vector : Session.t; faillocks : Faillock.t; placement : bool array array }
+  | Failure_announce of { failed : int list }
+  | Backup_copy of { target : int; write : Raid_storage.Database.write }
+
+let describe = function
+  | Begin_txn txn -> Printf.sprintf "begin_txn(%d)" txn.Txn.id
+  | Recover_command -> "recover_command"
+  | Failure_noticed _ -> "failure_noticed"
+  | Terminate_command -> "terminate_command"
+  | Departure_announce { site } -> Printf.sprintf "departure_announce(site %d)" site
+  | Prepare { txn; writes; cleared } ->
+    Printf.sprintf "prepare(%d,%d writes,%d cleared)" txn (List.length writes)
+      (List.length cleared)
+  | Prepare_ack { txn } -> Printf.sprintf "prepare_ack(%d)" txn
+  | Commit { txn } -> Printf.sprintf "commit(%d)" txn
+  | Commit_ack { txn } -> Printf.sprintf "commit_ack(%d)" txn
+  | Abort { txn; cleared } -> Printf.sprintf "abort(%d,%d cleared)" txn (List.length cleared)
+  | Copy_request { txn; items } ->
+    Printf.sprintf "copy_request(%d,%d items)" txn (List.length items)
+  | Copy_reply { txn; writes } ->
+    Printf.sprintf "copy_reply(%d,%d items)" txn (List.length writes)
+  | Copy_unavailable { txn; items } ->
+    Printf.sprintf "copy_unavailable(%d,%d items)" txn (List.length items)
+  | Faillocks_cleared { site; items } ->
+    Printf.sprintf "faillocks_cleared(site %d,%d items)" site (List.length items)
+  | Recovery_announce { site; session; want_state } ->
+    Printf.sprintf "recovery_announce(site %d,session %d%s)" site session
+      (if want_state then ",want_state" else "")
+  | Recovery_state _ -> "recovery_state"
+  | Failure_announce { failed } ->
+    Printf.sprintf "failure_announce(%s)" (String.concat "," (List.map string_of_int failed))
+  | Backup_copy { target; write } ->
+    Printf.sprintf "backup_copy(item %d -> site %d)" write.Raid_storage.Database.item target
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -1,0 +1,64 @@
+(** Protocol messages exchanged between sites (and injected by the
+    managing site).
+
+    One constructor per arrow in the paper's protocol: the two-phase
+    commit of Appendix A, copier transactions and their fail-lock-clearing
+    special transaction (§1.2), and control transactions types 1-3.
+    [Begin_txn], [Recover_command] and [Failure_noticed] are managing-site
+    inputs. *)
+
+type t =
+  | Begin_txn of Txn.t
+      (** managing site hands a database transaction to the coordinator *)
+  | Recover_command
+      (** managing site tells a down site to start recovery (control-1) *)
+  | Failure_noticed of int list
+      (** managing site tells a surviving site which sites failed
+          (immediate-detection mode); the receiver runs control-2 *)
+  | Terminate_command
+      (** managing site asks a site to shut down gracefully: it announces
+          its departure (entering the paper's [Terminating] state) so that
+          survivors need neither a timeout nor control transaction 2 *)
+  | Departure_announce of { site : int }
+  | Prepare of {
+      txn : int;
+      writes : Raid_storage.Database.write list;
+      cleared : int list;
+          (** with [Config.embed_clears]: items whose fail-lock bit for
+              the coordinating site was cleared by copier transactions,
+              piggy-backed instead of a separate special transaction *)
+    }
+  | Prepare_ack of { txn : int }
+  | Commit of { txn : int }
+  | Commit_ack of { txn : int }
+  | Abort of { txn : int; cleared : int list }
+  | Copy_request of { txn : int; items : int list }
+      (** copier transaction: fetch up-to-date copies; [txn] is the
+          requesting database transaction (or a synthetic id for batch
+          copiers) *)
+  | Copy_reply of { txn : int; writes : Raid_storage.Database.write list }
+  | Copy_unavailable of { txn : int; items : int list }
+      (** source no longer has an up-to-date copy of these items *)
+  | Faillocks_cleared of { site : int; items : int list }
+      (** the special transaction informing other sites of fail-lock bits
+          cleared by copier transactions *)
+  | Recovery_announce of { site : int; session : int; want_state : bool }
+      (** control-1; [want_state] asks the receiver to reply with its
+          session vector and fail-locks (the paper fetches state from one
+          operational site) *)
+  | Recovery_state of {
+      vector : Session.t;
+      faillocks : Faillock.t;
+      placement : bool array array;
+          (** the donor's placement view, so control-3 backups created
+              while the recoverer was down are not forgotten *)
+    }
+  | Failure_announce of { failed : int list }  (** control-2 *)
+  | Backup_copy of { target : int; write : Raid_storage.Database.write }
+      (** control-3: [target] must materialise the copy; other receivers
+          just update their placement view *)
+
+val describe : t -> string
+(** Short human-readable tag for traces and logs. *)
+
+val pp : Format.formatter -> t -> unit

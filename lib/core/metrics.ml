@@ -1,0 +1,104 @@
+type abort_reason =
+  | Copier_unavailable
+  | Copier_source_failed
+  | Participant_failed
+  | Write_unavailable
+
+type outcome = {
+  txn : Txn.t;
+  coordinator : int;
+  committed : bool;
+  abort_reason : abort_reason option;
+  copier_requests : int;
+  copier_items : int;
+  reads : (int * int * int) list;
+  writes : Raid_storage.Database.write list;
+  elapsed : Raid_net.Vtime.t;
+}
+
+type t = {
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable copier_requests : int;
+  mutable copier_items_refreshed : int;
+  mutable batch_copier_rounds : int;
+  mutable clear_specials_sent : int;
+  mutable control1_completed : int;
+  mutable control2_announcements : int;
+  mutable control3_backups : int;
+  mutable faillocks_set : int;
+  mutable faillocks_cleared : int;
+  mutable coordinator_ms : float list;
+  mutable coordinator_copier_ms : float list;
+  mutable participant_ms : float list;
+  mutable control1_recovering_ms : float list;
+  mutable control1_operational_ms : float list;
+  mutable control2_ms : float list;
+  mutable copy_serve_ms : float list;
+  mutable clear_special_ms : float list;
+}
+
+let create () =
+  {
+    txns_committed = 0;
+    txns_aborted = 0;
+    copier_requests = 0;
+    copier_items_refreshed = 0;
+    batch_copier_rounds = 0;
+    clear_specials_sent = 0;
+    control1_completed = 0;
+    control2_announcements = 0;
+    control3_backups = 0;
+    faillocks_set = 0;
+    faillocks_cleared = 0;
+    coordinator_ms = [];
+    coordinator_copier_ms = [];
+    participant_ms = [];
+    control1_recovering_ms = [];
+    control1_operational_ms = [];
+    control2_ms = [];
+    copy_serve_ms = [];
+    clear_special_ms = [];
+  }
+
+let reset t =
+  t.txns_committed <- 0;
+  t.txns_aborted <- 0;
+  t.copier_requests <- 0;
+  t.copier_items_refreshed <- 0;
+  t.batch_copier_rounds <- 0;
+  t.clear_specials_sent <- 0;
+  t.control1_completed <- 0;
+  t.control2_announcements <- 0;
+  t.control3_backups <- 0;
+  t.faillocks_set <- 0;
+  t.faillocks_cleared <- 0;
+  t.coordinator_ms <- [];
+  t.coordinator_copier_ms <- [];
+  t.participant_ms <- [];
+  t.control1_recovering_ms <- [];
+  t.control1_operational_ms <- [];
+  t.control2_ms <- [];
+  t.copy_serve_ms <- [];
+  t.clear_special_ms <- []
+
+let snapshot_counts t =
+  [
+    ("txns_committed", t.txns_committed);
+    ("txns_aborted", t.txns_aborted);
+    ("copier_requests", t.copier_requests);
+    ("copier_items_refreshed", t.copier_items_refreshed);
+    ("batch_copier_rounds", t.batch_copier_rounds);
+    ("clear_specials_sent", t.clear_specials_sent);
+    ("control1_completed", t.control1_completed);
+    ("control2_announcements", t.control2_announcements);
+    ("control3_backups", t.control3_backups);
+    ("faillocks_set", t.faillocks_set);
+    ("faillocks_cleared", t.faillocks_cleared);
+  ]
+
+let pp_abort_reason ppf = function
+  | Copier_unavailable -> Format.pp_print_string ppf "copier-unavailable"
+  | Copier_source_failed -> Format.pp_print_string ppf "copier-source-failed"
+  | Participant_failed -> Format.pp_print_string ppf "participant-failed"
+  | Write_unavailable -> Format.pp_print_string ppf "write-unavailable"

@@ -1,0 +1,62 @@
+(** Cluster-wide protocol accounting.
+
+    One instance is shared by all sites of a cluster.  Counters follow
+    the quantities the paper records per experiment ("the number of
+    fail-locks set, the number of fail-locks cleared, and the number of
+    copier transactions requested", §3.1.1) plus the event-time samples
+    behind every Experiment-1 table row. *)
+
+type abort_reason =
+  | Copier_unavailable
+      (** a read hit a fail-locked copy and no operational site holds an
+          up-to-date copy (the 13 aborts of Figure 2's scenario) *)
+  | Copier_source_failed
+      (** the site a copy request was sent to is now down (Appendix A) *)
+  | Participant_failed  (** a participant died during phase 1 *)
+  | Write_unavailable
+      (** partial replication: a written item has no operational holder,
+          so the update would be installed nowhere *)
+
+type outcome = {
+  txn : Txn.t;
+  coordinator : int;
+  committed : bool;
+  abort_reason : abort_reason option;
+  copier_requests : int;  (** copier transactions issued for this txn *)
+  copier_items : int;  (** items refreshed by those copiers *)
+  reads : (int * int * int) list;  (** (item, value, version) as read *)
+  writes : Raid_storage.Database.write list;  (** installed writes; [] if aborted *)
+  elapsed : Raid_net.Vtime.t;  (** coordinator time, reception to completion *)
+}
+
+type t = {
+  mutable txns_committed : int;
+  mutable txns_aborted : int;
+  mutable copier_requests : int;
+  mutable copier_items_refreshed : int;
+  mutable batch_copier_rounds : int;
+  mutable clear_specials_sent : int;
+  mutable control1_completed : int;
+  mutable control2_announcements : int;
+  mutable control3_backups : int;
+  mutable faillocks_set : int;  (** bit transitions clear->set, all sites *)
+  mutable faillocks_cleared : int;  (** bit transitions set->clear, all sites *)
+  mutable coordinator_ms : float list;  (** committed txns without copiers *)
+  mutable coordinator_copier_ms : float list;  (** committed txns with >= 1 copier *)
+  mutable participant_ms : float list;
+  mutable control1_recovering_ms : float list;
+  mutable control1_operational_ms : float list;
+  mutable control2_ms : float list;
+  mutable copy_serve_ms : float list;
+  mutable clear_special_ms : float list;
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+(** Zero all counters and drop all samples. *)
+
+val snapshot_counts : t -> (string * int) list
+(** Counter names and values, for reports. *)
+
+val pp_abort_reason : Format.formatter -> abort_reason -> unit

@@ -1,0 +1,68 @@
+type state = Up | Down | Waiting_recover | Terminating
+
+type entry = { session : int; state : state }
+
+type t = entry array
+
+let create ~num_sites =
+  if num_sites <= 0 then invalid_arg "Session.create: num_sites must be positive";
+  Array.make num_sites { session = 1; state = Up }
+
+let num_sites = Array.length
+
+let check t site =
+  if site < 0 || site >= Array.length t then invalid_arg "Session: site out of range"
+
+let get t site =
+  check t site;
+  t.(site)
+
+let session t site = (get t site).session
+let state t site = (get t site).state
+
+let set t site entry =
+  check t site;
+  t.(site) <- entry
+
+let mark_down t site = set t site { (get t site) with state = Down }
+let mark_waiting t site ~session = set t site { session; state = Waiting_recover }
+let mark_terminating t site = set t site { (get t site) with state = Terminating }
+let mark_up t site ~session = set t site { session; state = Up }
+
+let is_up t site = state t site = Up
+
+let operational t =
+  let up = ref [] in
+  for site = Array.length t - 1 downto 0 do
+    if t.(site).state = Up then up := site :: !up
+  done;
+  !up
+
+let operational_except t site = List.filter (fun s -> s <> site) (operational t)
+
+let copy = Array.copy
+
+let install t ~from =
+  if Array.length t <> Array.length from then invalid_arg "Session.install: size mismatch";
+  Array.blit from 0 t 0 (Array.length t)
+
+let merge_failure t failed = List.iter (mark_down t) failed
+
+let equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (x : entry) (y : entry) -> x.session = y.session && x.state = y.state) a b
+
+let pp_state ppf = function
+  | Up -> Format.pp_print_string ppf "up"
+  | Down -> Format.pp_print_string ppf "down"
+  | Waiting_recover -> Format.pp_print_string ppf "waiting"
+  | Terminating -> Format.pp_print_string ppf "terminating"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>[";
+  Array.iteri
+    (fun site { session; state } ->
+      if site > 0 then Format.fprintf ppf "; ";
+      Format.fprintf ppf "%d:%d/%a" site session pp_state state)
+    t;
+  Format.fprintf ppf "]@]"

@@ -1,0 +1,58 @@
+(** Session numbers and nominal session vectors (paper §1.1-1.2).
+
+    A session number "identifies a time period in which a site is up"; it
+    increments every time the site recovers.  A nominal session vector is
+    "an array of records, with each record representing a site", holding
+    the perceived session number and state of every site — the paper's
+    four states are [Up], [Down], [Waiting_recover] and [Terminating].
+    Each site consults its own vector to decide which sites participate in
+    ROWAA transaction processing. *)
+
+type state = Up | Down | Waiting_recover | Terminating
+
+type entry = { session : int; state : state }
+
+type t
+(** A nominal session vector. *)
+
+val create : num_sites:int -> t
+(** All sites perceived [Up] with session number 1 (the initial
+    "consistent and up-to-date" configuration of every experiment). *)
+
+val num_sites : t -> int
+val get : t -> int -> entry
+val session : t -> int -> int
+val state : t -> int -> state
+
+val set : t -> int -> entry -> unit
+val mark_down : t -> int -> unit
+(** Session number is retained; only the state changes. *)
+
+val mark_waiting : t -> int -> session:int -> unit
+
+val mark_terminating : t -> int -> unit
+(** Graceful departure announced; session number retained. *)
+
+val mark_up : t -> int -> session:int -> unit
+
+val is_up : t -> int -> bool
+
+val operational : t -> int list
+(** Sites perceived [Up], in increasing id order. *)
+
+val operational_except : t -> int -> int list
+(** [operational] minus the given site (a coordinator's participants). *)
+
+val copy : t -> t
+
+val install : t -> from:t -> unit
+(** Overwrite every entry of [t] with those of [from] (control-1
+    installation at a recovering site).  @raise Invalid_argument on a
+    size mismatch. *)
+
+val merge_failure : t -> int list -> unit
+(** Control-2: mark each listed site [Down]. *)
+
+val equal : t -> t -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,876 @@
+module Vtime = Raid_net.Vtime
+module Engine = Raid_net.Engine
+module Database = Raid_storage.Database
+module Update_log = Raid_storage.Update_log
+module Wal = Raid_storage.Wal
+
+let log_src = Logs.Src.create "raid.site" ~doc:"RAID site state machine"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* Coordinator phases for the transaction in progress (Appendix A). *)
+type phase =
+  | Copying of { mutable pending_sources : int list }
+  | Preparing of { participants : int list; mutable pending_acks : int list }
+  | Committing of { mutable pending_acks : int list }
+
+type coord = {
+  txn : Txn.t;
+  started_at : Vtime.t;
+  writes : Database.write list;
+  mutable phase : phase;
+  mutable copier_requests : int;
+  mutable copier_items : int;
+  mutable cleared_items : int list;
+      (* items whose own fail-lock a copier cleared; announced by the
+         special transaction once all copy replies are in *)
+  mutable remote_reads : (int * int * int) list;
+      (* reads satisfied by a copy reply without a local copy (partial
+         replication fetch-only reads) *)
+  fetch_only : (int, unit) Hashtbl.t;
+}
+
+type batch = { round_id : int; mutable pending_sources : int list }
+
+type mode =
+  | Normal
+  | Waiting_recovery of {
+      new_session : int;
+      mutable candidates : int list;  (* remaining state-donor candidates *)
+      mutable observed_down : int list;
+          (* failures this site witnessed while waiting; the donor's
+             vector predates them, so control-2 re-applies them after
+             installation *)
+      started_at : Vtime.t;
+    }
+
+type t = {
+  id : int;
+  config : Config.t;
+  cost : Cost_model.t;
+  metrics : Metrics.t;
+  on_outcome : Metrics.outcome -> unit;
+  vector : Session.t;
+  db : Database.t;
+  faillocks : Faillock.t;
+  log : Update_log.t;
+  stable : Wal.t option;  (* simulated stable storage (durability extension) *)
+  placement : bool array array;  (* this site's view: placement.(site).(item) *)
+  pending_prepares : (int, Database.write list) Hashtbl.t;
+  participant_started : (int, Vtime.t) Hashtbl.t;
+  mutable mode : mode;
+  coords : (int, coord) Hashtbl.t;  (* in-flight coordinated transactions *)
+  mutable batch : batch option;
+  mutable batch_seq : int;
+}
+
+let create ~id ~config ~metrics ~on_outcome () =
+  if id < 0 || id >= config.Config.num_sites then invalid_arg "Site.create: id out of range";
+  let num_items = config.Config.num_items in
+  let num_sites = config.Config.num_sites in
+  let stored item = Config.stores config ~site:id ~item in
+  {
+    id;
+    config;
+    cost = config.Config.cost;
+    metrics;
+    on_outcome;
+    vector = Session.create ~num_sites;
+    db = Database.create_partial ~num_items ~stored;
+    faillocks = Faillock.create ~num_items ~num_sites;
+    log = Update_log.create ();
+    stable =
+      (match config.Config.durability with
+      | Config.In_memory -> None
+      | Config.Durable_wal { checkpoint_interval } ->
+        Some (Wal.create ~checkpoint_interval ~num_items ()));
+    placement =
+      Array.init num_sites (fun site ->
+          Array.init num_items (fun item -> Config.stores config ~site ~item));
+    pending_prepares = Hashtbl.create 16;
+    participant_started = Hashtbl.create 16;
+    mode = Normal;
+    coords = Hashtbl.create 4;
+    batch = None;
+    batch_seq = 0;
+  }
+
+let id t = t.id
+let database t = t.db
+let faillocks t = t.faillocks
+let vector t = t.vector
+let log t = t.log
+let stores t ~item = t.placement.(t.id).(item)
+let believes_stored t ~site ~item = t.placement.(site).(item)
+let locked_items t = Faillock.locked_items_for t.faillocks ~site:t.id
+let is_recovering t = locked_items t <> []
+let is_waiting t = match t.mode with Waiting_recovery _ -> true | Normal -> false
+let session_number t = Session.session t.vector t.id
+
+let on_crash t =
+  Hashtbl.reset t.coords;
+  t.batch <- None;
+  t.mode <- Normal;
+  Hashtbl.reset t.pending_prepares;
+  Hashtbl.reset t.participant_started;
+  (* Under the durability extension the crash also loses the volatile
+     database; only the write-ahead log survives.  Recovery replays it. *)
+  match t.stable with
+  | None -> ()
+  | Some _ ->
+    for item = 0 to Database.num_items t.db - 1 do
+      Database.materialize t.db { Database.item; value = 0; version = 0 }
+    done
+
+let ms_of = Vtime.to_ms
+
+(* {2 Small helpers} *)
+
+let operational_others t = Session.operational_except t.vector t.id
+let faillocks_on t = t.config.Config.faillocks_enabled
+
+(* An operational site (other than this one) holding an up-to-date copy
+   of [item], per this site's fail-lock table and placement view. *)
+let find_source t item =
+  List.find_opt
+    (fun s -> t.placement.(s).(item) && not (Faillock.is_locked t.faillocks ~item ~site:s))
+    (operational_others t)
+
+(* Control transaction type 2: mark the given sites down and announce the
+   failure to the remaining operational sites. *)
+let announce_failures t ctx failed =
+  let fresh = List.filter (fun s -> s <> t.id && Session.is_up t.vector s) failed in
+  if fresh <> [] then begin
+    List.iter (Session.mark_down t.vector) fresh;
+    let receivers = operational_others t in
+    List.iter
+      (fun r -> Engine.send ctx r (Message.Failure_announce { failed = fresh }))
+      receivers;
+    t.metrics.Metrics.control2_announcements <-
+      t.metrics.Metrics.control2_announcements + List.length receivers
+  end
+
+(* Commit-time fail-lock maintenance (paper §1.2): for each written item,
+   unconditionally clear the bit of every up site and set the bit of every
+   down site — restricted to sites that hold a copy of the item, since a
+   non-holder cannot miss an update. *)
+let faillock_commit_update t ctx writes =
+  if faillocks_on t then begin
+    let set_count = ref 0 and cleared = ref 0 in
+    List.iter
+      (fun { Database.item; _ } ->
+        Engine.work ctx t.cost.Cost_model.faillock_update_per_write;
+        Faillock.commit_update t.faillocks ~item
+          ~site_up:(fun s -> Session.is_up t.vector s)
+          ~set:set_count ~cleared;
+        (* Undo bits commit_update set for down sites without a copy. *)
+        for s = 0 to Session.num_sites t.vector - 1 do
+          if (not t.placement.(s).(item)) && Faillock.is_locked t.faillocks ~item ~site:s then
+            if Faillock.clear t.faillocks ~item ~site:s then decr set_count
+        done)
+      writes;
+    t.metrics.Metrics.faillocks_set <- t.metrics.Metrics.faillocks_set + !set_count;
+    t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + !cleared
+  end
+
+(* Log a committed write to stable storage (durability extension). *)
+let log_durable t ctx ~txn write =
+  match t.stable with
+  | None -> ()
+  | Some wal ->
+    Engine.work ctx t.cost.Cost_model.wal_append;
+    Wal.append wal { Wal.txn; write };
+    ignore (Wal.maybe_checkpoint wal t.db)
+
+(* Apply committed writes to the local copy (those this site stores). *)
+let apply_writes t ctx ~txn writes =
+  List.iter
+    (fun ({ Database.item; _ } as write) ->
+      if stores t ~item then begin
+        Engine.work ctx t.cost.Cost_model.commit_apply_per_write;
+        Database.apply t.db write;
+        Update_log.append t.log { Update_log.txn; write; applied_at = Engine.time ctx };
+        log_durable t ctx ~txn write
+      end)
+    writes
+
+(* Refresh local copies from a copier reply.  Writes not newer than the
+   local copy are skipped (the copy may have been refreshed by a write
+   committed after the request was issued).  Clears this site's own
+   fail-lock bits; returns the items whose bit was actually cleared. *)
+let install_refreshed t ctx ~round writes =
+  List.filter_map
+    (fun ({ Database.item; version; _ } as write) ->
+      let stale =
+        match Database.version t.db item with None -> true | Some v -> v < version
+      in
+      if stale then begin
+        Engine.work ctx t.cost.Cost_model.copier_install_per_item;
+        Database.materialize t.db write;
+        Update_log.append t.log { Update_log.txn = round; write; applied_at = Engine.time ctx };
+        log_durable t ctx ~txn:round write
+      end;
+      if Faillock.clear t.faillocks ~item ~site:t.id then begin
+        t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + 1;
+        Some item
+      end
+      else None)
+    writes
+
+(* The special transaction informing other sites of fail-lock bits cleared
+   by copier transactions. *)
+let broadcast_clears t ctx items =
+  if items <> [] then
+    List.iter
+      (fun r ->
+        Engine.work ctx t.cost.Cost_model.faillock_clear_send;
+        Engine.send ctx r (Message.Faillocks_cleared { site = t.id; items });
+        t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1)
+      (operational_others t)
+
+(* {2 Two-step recovery (paper §3.2 extension)} *)
+
+(* Group items by an up-to-date source site; items with no available
+   source are dropped. *)
+let group_by_source t items =
+  let by_source = Hashtbl.create 4 in
+  List.iter
+    (fun item ->
+      match find_source t item with
+      | None -> ()
+      | Some s ->
+        Hashtbl.replace by_source s
+          (item :: Option.value ~default:[] (Hashtbl.find_opt by_source s)))
+    items;
+  List.sort compare (Hashtbl.fold (fun s items acc -> (s, List.rev items) :: acc) by_source [])
+
+let rec start_batch_round t ctx =
+  match t.config.Config.recovery with
+  | Config.On_demand -> ()
+  | Config.Two_step { threshold; batch_size } ->
+    if t.batch = None && Hashtbl.length t.coords = 0 && t.mode = Normal then begin
+      let locked = locked_items t in
+      let fraction =
+        float_of_int (List.length locked) /. float_of_int t.config.Config.num_items
+      in
+      if locked <> [] && fraction <= threshold then begin
+        let take = List.filteri (fun i _ -> i < batch_size) locked in
+        match group_by_source t take with
+        | [] -> ()  (* nothing refreshable right now *)
+        | groups ->
+          t.batch_seq <- t.batch_seq + 1;
+          let round_id = -t.batch_seq in
+          List.iter
+            (fun (source, items) ->
+              Engine.work ctx t.cost.Cost_model.copier_request_send;
+              Engine.send ctx source (Message.Copy_request { txn = round_id; items });
+              t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1)
+            groups;
+          t.batch <- Some { round_id; pending_sources = List.map fst groups };
+          t.metrics.Metrics.batch_copier_rounds <- t.metrics.Metrics.batch_copier_rounds + 1
+      end
+    end
+
+and finish_batch_source t ctx b source =
+  b.pending_sources <- List.filter (fun s -> s <> source) b.pending_sources;
+  if b.pending_sources = [] then begin
+    t.batch <- None;
+    start_batch_round t ctx
+  end
+
+(* {2 Control transaction type 3 (paper §3.2 extension)} *)
+
+let maybe_spawn_backups t ctx writes =
+  if t.config.Config.spawn_backups then
+    List.iter
+      (fun ({ Database.item; _ } as write) ->
+        let holders =
+          List.filter (fun s -> t.placement.(s).(item)) (Session.operational t.vector)
+        in
+        match holders with
+        | [ _last_holder ] -> begin
+          match
+            List.find_opt
+              (fun s -> not t.placement.(s).(item))
+              (Session.operational t.vector)
+          with
+          | None -> ()
+          | Some target ->
+            Engine.work ctx t.cost.Cost_model.backup_spawn;
+            (* Broadcast so every operational site updates its placement
+               view; the target also materialises the copy. *)
+            List.iter
+              (fun r -> Engine.send ctx r (Message.Backup_copy { target; write }))
+              (operational_others t);
+            t.placement.(target).(item) <- true;
+            if target = t.id then Database.materialize t.db write;
+            t.metrics.Metrics.control3_backups <- t.metrics.Metrics.control3_backups + 1
+        end
+        | _ -> ())
+      writes
+
+(* {2 Coordinator (Appendix A, "actions at the coordinating site")} *)
+
+let finish t ctx coord ~committed ~abort_reason ~reads =
+  let elapsed = Vtime.sub (Engine.time ctx) coord.started_at in
+  if committed then begin
+    t.metrics.Metrics.txns_committed <- t.metrics.Metrics.txns_committed + 1;
+    if coord.copier_requests > 0 then
+      t.metrics.Metrics.coordinator_copier_ms <-
+        ms_of elapsed :: t.metrics.Metrics.coordinator_copier_ms
+    else
+      t.metrics.Metrics.coordinator_ms <- ms_of elapsed :: t.metrics.Metrics.coordinator_ms
+  end
+  else t.metrics.Metrics.txns_aborted <- t.metrics.Metrics.txns_aborted + 1;
+  Hashtbl.remove t.coords coord.txn.Txn.id;
+  t.on_outcome
+    {
+      Metrics.txn = coord.txn;
+      coordinator = t.id;
+      committed;
+      abort_reason;
+      copier_requests = coord.copier_requests;
+      copier_items = coord.copier_items;
+      reads;
+      writes = (if committed then coord.writes else []);
+      elapsed;
+    }
+
+(* Read every distinct read item: local copies, plus fetch-only remote
+   reads collected from copy replies under partial replication. *)
+let collect_reads t coord =
+  List.filter_map
+    (fun item ->
+      if Hashtbl.mem coord.fetch_only item then
+        List.find_opt (fun (i, _, _) -> i = item) coord.remote_reads
+      else
+        match Database.read t.db item with
+        | Some (value, version) -> Some (item, value, version)
+        | None -> None)
+    (Txn.read_items coord.txn)
+
+let local_commit t ctx coord =
+  apply_writes t ctx ~txn:coord.txn.Txn.id coord.writes;
+  faillock_commit_update t ctx coord.writes;
+  let reads = collect_reads t coord in
+  finish t ctx coord ~committed:true ~abort_reason:None ~reads;
+  maybe_spawn_backups t ctx coord.writes;
+  start_batch_round t ctx
+
+(* Begin phase 1: "issue copy update for written items to every
+   operational site". *)
+let begin_phase1 t ctx coord =
+  (* Every operational site participates, even one storing none of the
+     written items: fail-locks are fully replicated (paper §1.1), so every
+     site must see the commit to maintain its table. *)
+  let participants = operational_others t in
+  if participants = [] then local_commit t ctx coord
+  else begin
+    coord.phase <- Preparing { participants; pending_acks = participants };
+    let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
+    List.iter
+      (fun p ->
+        Engine.work ctx t.cost.Cost_model.prepare_send;
+        Engine.send ctx p
+          (Message.Prepare { txn = coord.txn.Txn.id; writes = coord.writes; cleared }))
+      participants
+  end
+
+let begin_txn t ctx txn =
+  (* Multiple transactions may be coordinated here concurrently (the
+     concurrency-control extension); the same id must not be reused. *)
+  if Hashtbl.mem t.coords txn.Txn.id then begin
+    Log.err (fun m -> m "site %d: duplicate transaction id %d" t.id txn.Txn.id);
+    invalid_arg "Site: duplicate transaction id"
+  end;
+  let started_at = Engine.time ctx in
+  Engine.work ctx t.cost.Cost_model.txn_setup;
+  Engine.work ctx (Txn.size txn * t.cost.Cost_model.op_process);
+  let read_ops =
+    List.length (List.filter (function Txn.Read _ -> true | Txn.Write _ -> false) txn.Txn.ops)
+  in
+  if faillocks_on t then Engine.work ctx (read_ops * t.cost.Cost_model.faillock_read_check);
+  let writes =
+    List.map
+      (fun item -> { Database.item; value = txn.Txn.id; version = txn.Txn.id })
+      (Txn.write_items txn)
+  in
+  let coord =
+    {
+      txn;
+      started_at;
+      writes;
+      phase = Copying { pending_sources = [] };
+      copier_requests = 0;
+      copier_items = 0;
+      cleared_items = [];
+      remote_reads = [];
+      fetch_only = Hashtbl.create 4;
+    }
+  in
+  Hashtbl.replace t.coords txn.Txn.id coord;
+  (* Under partial replication a written item must have at least one
+     operational holder, or the update would be installed nowhere. *)
+  let write_unavailable =
+    match t.config.Config.replication with
+    | Config.Full -> false
+    | Config.Partial _ ->
+      List.exists
+        (fun { Database.item; _ } ->
+          not
+            (List.exists
+               (fun s -> t.placement.(s).(item))
+               (Session.operational t.vector)))
+        writes
+  in
+  if write_unavailable then
+    finish t ctx coord ~committed:false ~abort_reason:(Some Metrics.Write_unavailable) ~reads:[]
+  else begin
+  (* Reads needing a copier: fail-locked local copies (paper §1.2), plus —
+     under partial replication — reads of items with no local copy, which
+     are fetched without being installed. *)
+  let needs_copier item = faillocks_on t && Faillock.is_locked t.faillocks ~item ~site:t.id in
+  let needed, fetch_only =
+    List.partition (fun item -> stores t ~item)
+      (List.filter
+         (fun item -> (not (stores t ~item)) || needs_copier item)
+         (Txn.read_items txn))
+  in
+  let needed = List.filter needs_copier needed in
+  List.iter (fun item -> Hashtbl.replace coord.fetch_only item ()) fetch_only;
+  let to_fetch = needed @ fetch_only in
+  if to_fetch = [] then begin_phase1 t ctx coord
+  else begin
+    let groups = group_by_source t to_fetch in
+    let covered = List.concat_map snd groups in
+    if List.exists (fun item -> not (List.mem item covered)) to_fetch then begin
+      (* Some needed copy has no operational up-to-date source: "the
+         inability to get up-to-date copies via copier transactions"
+         aborts the transaction (paper §4.2.1). *)
+      finish t ctx coord ~committed:false ~abort_reason:(Some Metrics.Copier_unavailable)
+        ~reads:[]
+    end
+    else begin
+      List.iter
+        (fun (source, items) ->
+          Engine.work ctx t.cost.Cost_model.copier_request_send;
+          Engine.send ctx source (Message.Copy_request { txn = txn.Txn.id; items });
+          coord.copier_requests <- coord.copier_requests + 1;
+          t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1)
+        groups;
+      coord.phase <- Copying { pending_sources = List.map fst groups }
+    end
+  end
+  end
+
+let abort_txn t ctx coord ~reason ~notify =
+  (* With embedded clears, an abort message still carries the fail-lock
+     bits our copier transactions cleared, so other sites do not keep
+     stale bits for this site. *)
+  let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
+  if notify || cleared <> [] then
+    List.iter
+      (fun p -> Engine.send ctx p (Message.Abort { txn = coord.txn.Txn.id; cleared }))
+      (operational_others t);
+  finish t ctx coord ~committed:false ~abort_reason:(Some reason) ~reads:[]
+
+(* {2 The event handler} *)
+
+let current_coord t txn_id = Hashtbl.find_opt t.coords txn_id
+
+let handle_copy_reply t ctx ~txn ~writes ~src =
+  if txn < 0 then begin
+    (* Batch copier round (two-step recovery). *)
+    match t.batch with
+    | Some b when b.round_id = txn ->
+      let cleared = install_refreshed t ctx ~round:txn writes in
+      t.metrics.Metrics.copier_items_refreshed <-
+        t.metrics.Metrics.copier_items_refreshed + List.length cleared;
+      broadcast_clears t ctx cleared;
+      finish_batch_source t ctx b src
+    | _ -> ()  (* stale reply from an abandoned round *)
+  end
+  else
+    match current_coord t txn with
+    | None -> ()
+    | Some coord -> begin
+      match coord.phase with
+      | Copying c ->
+        let installable, fetch_only =
+          List.partition
+            (fun { Database.item; _ } -> not (Hashtbl.mem coord.fetch_only item))
+            writes
+        in
+        List.iter
+          (fun { Database.item; value; version } ->
+            coord.remote_reads <- (item, value, version) :: coord.remote_reads)
+          fetch_only;
+        let cleared = install_refreshed t ctx ~round:txn installable in
+        coord.copier_items <- coord.copier_items + List.length cleared;
+        t.metrics.Metrics.copier_items_refreshed <-
+          t.metrics.Metrics.copier_items_refreshed + List.length cleared;
+        coord.cleared_items <- cleared @ coord.cleared_items;
+        c.pending_sources <- List.filter (fun s -> s <> src) c.pending_sources;
+        if c.pending_sources = [] then begin
+          (* All copier transactions done: run the special transaction to
+             clear fail-locks at other sites (unless the information is
+             embedded in the commit protocol), then enter phase 1. *)
+          if not t.config.Config.embed_clears then broadcast_clears t ctx coord.cleared_items;
+          begin_phase1 t ctx coord
+        end
+      | Preparing _ | Committing _ -> ()
+    end
+
+let apply_embedded_clears t ~coordinator items =
+  let cleared =
+    List.fold_left
+      (fun acc item -> acc + Faillock.clear_sites t.faillocks ~item ~sites:[ coordinator ])
+      0 items
+  in
+  t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + cleared
+
+let handle_prepare t ctx ~txn ~writes ~cleared ~src =
+  apply_embedded_clears t ~coordinator:src cleared;
+  Hashtbl.replace t.pending_prepares txn writes;
+  Hashtbl.replace t.participant_started txn (Engine.time ctx);
+  Engine.work ctx t.cost.Cost_model.prepare_process;
+  Engine.send ctx src (Message.Prepare_ack { txn })
+
+let handle_commit t ctx ~txn ~src =
+  match Hashtbl.find_opt t.pending_prepares txn with
+  | None -> ()  (* unknown transaction (e.g. prepared before a crash) *)
+  | Some writes ->
+    Hashtbl.remove t.pending_prepares txn;
+    (* Acknowledge before applying: the coordinator does not wait on our
+       local commit work (see Cost_model calibration notes). *)
+    Engine.send ctx src (Message.Commit_ack { txn });
+    apply_writes t ctx ~txn writes;
+    faillock_commit_update t ctx writes;
+    (match Hashtbl.find_opt t.participant_started txn with
+    | Some started ->
+      Hashtbl.remove t.participant_started txn;
+      t.metrics.Metrics.participant_ms <-
+        ms_of (Vtime.sub (Engine.time ctx) started) :: t.metrics.Metrics.participant_ms
+    | None -> ());
+    start_batch_round t ctx
+
+let handle_prepare_ack t ctx ~txn ~src =
+  match current_coord t txn with
+  | None -> ()
+  | Some coord -> begin
+    match coord.phase with
+    | Preparing p ->
+      Engine.work ctx t.cost.Cost_model.ack_process;
+      p.pending_acks <- List.filter (fun s -> s <> src) p.pending_acks;
+      if p.pending_acks = [] then begin
+        (* Phase 2 goes to exactly the phase-1 participants. *)
+        coord.phase <- Committing { pending_acks = p.participants };
+        List.iter (fun s -> Engine.send ctx s (Message.Commit { txn })) p.participants
+      end
+    | Copying _ | Committing _ -> ()
+  end
+
+let handle_commit_ack t ctx ~txn ~src =
+  match current_coord t txn with
+  | None -> ()
+  | Some coord -> begin
+    match coord.phase with
+    | Committing c ->
+      Engine.work ctx t.cost.Cost_model.ack_process;
+      c.pending_acks <- List.filter (fun s -> s <> src) c.pending_acks;
+      if c.pending_acks = [] then local_commit t ctx coord
+    | Copying _ | Preparing _ -> ()
+  end
+
+(* {2 Control transaction type 1 (recovery)} *)
+
+let send_announcements t ctx ~new_session ~designated ~others =
+  let announce want_state dst =
+    Engine.work ctx t.cost.Cost_model.recovery_announce_send;
+    Engine.send ctx dst
+      (Message.Recovery_announce { site = t.id; session = new_session; want_state })
+  in
+  (* The announcements are formatted one after another (the paper's sites
+     run serially, which is why control-1 cost grows with the number of
+     sites); the designated donor's goes out last so every announcement is
+     on the critical path of the recovery, as in the paper's timing. *)
+  List.iter (announce false) others;
+  announce true designated
+
+let begin_recovery t ctx =
+  on_crash t;
+  (* Durability extension: rebuild the database from stable storage and
+     take the next session number from it (session numbers must be
+     monotone across crashes even if the vector were lost). *)
+  let new_session =
+    match t.stable with
+    | None -> Session.session t.vector t.id + 1
+    | Some wal ->
+      let replayed = Wal.replay_into wal t.db in
+      Engine.work ctx (replayed * t.cost.Cost_model.wal_replay_per_entry);
+      let session = Wal.session wal + 1 in
+      Wal.record_session wal session;
+      session
+  in
+  Session.mark_waiting t.vector t.id ~session:new_session;
+  (* Candidate state donors: sites this (stale) vector believes up first,
+     then the rest — a believed-up site may be dead and a believed-down
+     site may have recovered since. *)
+  let all_others =
+    List.filter (fun s -> s <> t.id) (List.init (Session.num_sites t.vector) Fun.id)
+  in
+  let believed_up, believed_down = List.partition (Session.is_up t.vector) all_others in
+  let candidates = believed_up @ believed_down in
+  match candidates with
+  | [] ->
+    Log.warn (fun m -> m "site %d: no other sites; recovering standalone" t.id);
+    Session.mark_up t.vector t.id ~session:new_session;
+    t.mode <- Normal;
+    t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1
+  | designated :: _ ->
+    t.mode <-
+      Waiting_recovery
+        { new_session; candidates; observed_down = []; started_at = Engine.time ctx };
+    (* Announce to every other site — the paper sends to each operational
+       site, but our vector is stale, and a site we wrongly believe down
+       must still learn our new session number (announcements to actually
+       dead sites just produce ignorable send failures).  The designated
+       candidate also ships its state. *)
+    let others = List.filter (fun s -> s <> designated) all_others in
+    send_announcements t ctx ~new_session ~designated ~others
+
+let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
+  Session.mark_up t.vector site ~session;
+  if want_state then begin
+    if is_waiting t then
+      (* We cannot serve authoritative state while waiting ourselves; the
+         serial cluster driver never creates this situation. *)
+      Log.err (fun m -> m "site %d: asked for recovery state while waiting" t.id)
+    else begin
+      let num_items = t.config.Config.num_items in
+      Engine.work ctx t.cost.Cost_model.recovery_state_build_base;
+      Engine.work ctx (num_items * t.cost.Cost_model.recovery_state_build_per_item);
+      Engine.send ctx src
+        (Message.Recovery_state
+           {
+             vector = Session.copy t.vector;
+             faillocks = Faillock.copy t.faillocks;
+             placement = Array.map Array.copy t.placement;
+           });
+      t.metrics.Metrics.control1_operational_ms <-
+        ms_of
+          (t.cost.Cost_model.recovery_state_build_base
+          + (num_items * t.cost.Cost_model.recovery_state_build_per_item)
+          + t.cost.Cost_model.message_latency)
+        :: t.metrics.Metrics.control1_operational_ms
+    end
+  end
+
+let handle_recovery_state t ctx ~vector ~faillocks ~placement =
+  match t.mode with
+  | Normal -> ()  (* duplicate or stale state shipment *)
+  | Waiting_recovery { new_session; started_at; observed_down; _ } ->
+    let num_items = t.config.Config.num_items in
+    Engine.work ctx t.cost.Cost_model.recovery_install_base;
+    Engine.work ctx (num_items * t.cost.Cost_model.recovery_install_per_item);
+    Session.install t.vector ~from:vector;
+    Faillock.install t.faillocks ~from:faillocks;
+    Array.iteri (fun s row -> Array.blit placement.(s) 0 row 0 (Array.length row)) t.placement;
+    Session.mark_up t.vector t.id ~session:new_session;
+    t.mode <- Normal;
+    t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1;
+    t.metrics.Metrics.control1_recovering_ms <-
+      ms_of (Vtime.sub (Engine.time ctx) started_at) :: t.metrics.Metrics.control1_recovering_ms;
+    (* The donor's vector predates any failures we witnessed while
+       waiting (e.g. a dead designated donor): re-apply them through
+       control transaction type 2. *)
+    announce_failures t ctx observed_down;
+    (* Step two of two-step recovery may start immediately. *)
+    start_batch_round t ctx
+
+let handle_recovery_candidate_failure t ctx ~dst =
+  match t.mode with
+  | Normal -> ()
+  | Waiting_recovery ({ new_session; _ } as w) ->
+    Session.mark_down t.vector dst;
+    if not (List.mem dst w.observed_down) then w.observed_down <- dst :: w.observed_down;
+    w.candidates <- List.filter (fun s -> s <> dst) w.candidates;
+    (match List.find_opt (fun s -> s <> dst) w.candidates with
+    | Some next ->
+      Engine.work ctx t.cost.Cost_model.recovery_announce_send;
+      Engine.send ctx next
+        (Message.Recovery_announce { site = t.id; session = new_session; want_state = true })
+    | None ->
+      (* Every potential donor is down: recovery is blocked, exactly the
+         hazard the paper's two-step proposal aims to shrink (§3.2). *)
+      Log.warn (fun m -> m "site %d: recovery blocked, no operational donor" t.id))
+
+(* {2 Send failures (Appendix A "site is now down" branches)} *)
+
+let handle_send_failed t ctx ~dst ~payload =
+  match payload with
+  | Message.Copy_request { txn; _ } ->
+    if txn < 0 then begin
+      (match t.batch with
+      | Some b when b.round_id = txn ->
+        announce_failures t ctx [ dst ];
+        finish_batch_source t ctx b dst
+      | _ -> announce_failures t ctx [ dst ])
+    end
+    else begin
+      match current_coord t txn with
+      | Some coord ->
+        announce_failures t ctx [ dst ];
+        abort_txn t ctx coord ~reason:Metrics.Copier_source_failed ~notify:false
+      | None -> announce_failures t ctx [ dst ]
+    end
+  | Message.Prepare { txn; _ } -> begin
+    match current_coord t txn with
+    | Some coord ->
+      announce_failures t ctx [ dst ];
+      abort_txn t ctx coord ~reason:Metrics.Participant_failed ~notify:true
+    | None -> announce_failures t ctx [ dst ]
+  end
+  | Message.Commit { txn } -> begin
+    announce_failures t ctx [ dst ];
+    match current_coord t txn with
+    | Some coord -> begin
+      match coord.phase with
+      | Committing c ->
+        c.pending_acks <- List.filter (fun s -> s <> dst) c.pending_acks;
+        if c.pending_acks = [] then local_commit t ctx coord
+      | Copying _ | Preparing _ -> ()
+    end
+    | None -> ()
+  end
+  | Message.Prepare_ack { txn } ->
+    (* The coordinator died before our acknowledgement arrived. *)
+    Hashtbl.remove t.pending_prepares txn;
+    Hashtbl.remove t.participant_started txn;
+    announce_failures t ctx [ dst ]
+  | Message.Commit_ack _ -> announce_failures t ctx [ dst ]
+  | Message.Recovery_announce { want_state; _ } ->
+    if want_state then handle_recovery_candidate_failure t ctx ~dst
+    else begin
+      match t.mode with
+      | Waiting_recovery w ->
+        Session.mark_down t.vector dst;
+        if not (List.mem dst w.observed_down) then w.observed_down <- dst :: w.observed_down
+      | Normal -> announce_failures t ctx [ dst ]
+    end
+  | Message.Faillocks_cleared _ | Message.Failure_announce _ | Message.Backup_copy _
+  | Message.Abort _ ->
+    announce_failures t ctx [ dst ]
+  | Message.Copy_reply _ | Message.Copy_unavailable _ | Message.Recovery_state _ ->
+    (* A reply to a site that died after asking; nothing of ours is
+       pending on it. *)
+    announce_failures t ctx [ dst ]
+  | Message.Departure_announce _ -> announce_failures t ctx [ dst ]
+  | Message.Begin_txn _ | Message.Recover_command | Message.Failure_noticed _
+  | Message.Terminate_command ->
+    ()  (* managing-site inputs are never sent site-to-site *)
+
+(* {2 Dispatch} *)
+
+let handle_message t ctx ~src payload =
+  match payload with
+  | Message.Begin_txn txn -> begin_txn t ctx txn
+  | Message.Recover_command -> begin_recovery t ctx
+  | Message.Failure_noticed failed -> announce_failures t ctx failed
+  | Message.Terminate_command ->
+    (* Graceful departure: announce before going away, so survivors never
+       have to discover the absence through timeouts. *)
+    Session.mark_terminating t.vector t.id;
+    List.iter
+      (fun r ->
+        Engine.work ctx t.cost.Cost_model.recovery_announce_send;
+        Engine.send ctx r (Message.Departure_announce { site = t.id }))
+      (operational_others t)
+  | Message.Departure_announce { site } -> Session.mark_terminating t.vector site
+  | Message.Prepare { txn; writes; cleared } -> handle_prepare t ctx ~txn ~writes ~cleared ~src
+  | Message.Prepare_ack { txn } -> handle_prepare_ack t ctx ~txn ~src
+  | Message.Commit { txn } -> handle_commit t ctx ~txn ~src
+  | Message.Commit_ack { txn } -> handle_commit_ack t ctx ~txn ~src
+  | Message.Abort { txn; cleared } ->
+    apply_embedded_clears t ~coordinator:src cleared;
+    Hashtbl.remove t.pending_prepares txn;
+    Hashtbl.remove t.participant_started txn
+  | Message.Copy_request { txn; items } ->
+    (* Serve up-to-date copies; items our own copy is fail-locked for (or
+       that we do not store) cannot be served. *)
+    let good, bad =
+      List.partition
+        (fun item ->
+          stores t ~item && not (Faillock.is_locked t.faillocks ~item ~site:t.id))
+        items
+    in
+    Engine.work ctx t.cost.Cost_model.copier_serve_base;
+    Engine.work ctx (List.length good * t.cost.Cost_model.copier_serve_per_item);
+    let writes =
+      List.filter_map
+        (fun item ->
+          Option.map
+            (fun (value, version) -> { Database.item; value; version })
+            (Database.read t.db item))
+        good
+    in
+    t.metrics.Metrics.copy_serve_ms <-
+      ms_of
+        (t.cost.Cost_model.copier_serve_base
+        + (List.length good * t.cost.Cost_model.copier_serve_per_item)
+        + t.cost.Cost_model.message_latency)
+      :: t.metrics.Metrics.copy_serve_ms;
+    if bad <> [] then Engine.send ctx src (Message.Copy_unavailable { txn; items = bad });
+    Engine.send ctx src (Message.Copy_reply { txn; writes })
+  | Message.Copy_reply { txn; writes } -> handle_copy_reply t ctx ~txn ~writes ~src
+  | Message.Copy_unavailable { txn; _ } -> begin
+    if txn < 0 then begin
+      match t.batch with
+      | Some b when b.round_id = txn -> finish_batch_source t ctx b src
+      | _ -> ()
+    end
+    else
+      match current_coord t txn with
+      | Some coord -> abort_txn t ctx coord ~reason:Metrics.Copier_unavailable ~notify:false
+      | None -> ()
+  end
+  | Message.Faillocks_cleared { site; items } ->
+    Engine.work ctx t.cost.Cost_model.faillock_clear_process;
+    let cleared =
+      List.fold_left
+        (fun acc item -> acc + Faillock.clear_sites t.faillocks ~item ~sites:[ site ])
+        0 items
+    in
+    t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + cleared;
+    t.metrics.Metrics.clear_special_ms <-
+      ms_of (t.cost.Cost_model.faillock_clear_process + t.cost.Cost_model.message_latency)
+      :: t.metrics.Metrics.clear_special_ms
+  | Message.Recovery_announce { site; session; want_state } ->
+    handle_recovery_announce t ctx ~site ~session ~want_state ~src
+  | Message.Recovery_state { vector; faillocks; placement } ->
+    handle_recovery_state t ctx ~vector ~faillocks ~placement
+  | Message.Failure_announce { failed } ->
+    Engine.work ctx t.cost.Cost_model.failure_announce_process;
+    Session.merge_failure t.vector failed;
+    t.metrics.Metrics.control2_ms <-
+      ms_of (t.cost.Cost_model.failure_announce_process + t.cost.Cost_model.message_latency)
+      :: t.metrics.Metrics.control2_ms
+  | Message.Backup_copy { target; write } ->
+    t.placement.(target).(write.Database.item) <- true;
+    if target = t.id then begin
+      let stale =
+        match Database.version t.db write.Database.item with
+        | None -> true
+        | Some v -> v < write.Database.version
+      in
+      if stale then begin
+        Database.materialize t.db write;
+        log_durable t ctx ~txn:write.Database.version write
+      end
+    end
+
+let handler t ctx event =
+  match event with
+  | Engine.Message { src; payload } -> handle_message t ctx ~src payload
+  | Engine.Send_failed { dst; payload } -> handle_send_failed t ctx ~dst ~payload
+  | Engine.Timer _ -> ()

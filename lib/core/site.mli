@@ -1,0 +1,79 @@
+(** A database site: the message-driven state machine implementing the
+    ROWAA replicated copy control protocol.
+
+    One value of type {!t} holds everything a mini-RAID site process held:
+    a copy of the database, a nominal session vector, a fail-lock table
+    and the transient coordinator/participant state of the two-phase
+    commit of Appendix A.  Sites communicate only through
+    {!Raid_net.Engine} messages; the managing site injects
+    [Begin_txn]/[Recover_command]/[Failure_noticed] inputs (see
+    {!Cluster} for the driver that does this).
+
+    Protocol summary (paper §1.1, §1.2, Appendix A):
+    - A coordinator receiving a transaction first runs copier
+      transactions for every read of a fail-locked copy; if any needed
+      copy has no operational up-to-date source the transaction aborts.
+    - Phase 1 sends the copy updates to every operational site; phase 2
+      commits.  A participant failure aborts the transaction and triggers
+      control transaction type 2; a missing commit-ack triggers
+      control-2 but the commit still completes.
+    - Commitment (re-)clears each written item's fail-lock bit for every
+      up site and sets it for every down site.
+    - Recovery (control-1) announces a fresh session number to the
+      believed-operational sites and installs the session vector and
+      fail-lock table fetched from one of them.
+    - The two-step recovery policy and control transaction type 3 are the
+      paper's §3.2 proposed extensions. *)
+
+type t
+
+val create :
+  id:int ->
+  config:Config.t ->
+  metrics:Metrics.t ->
+  on_outcome:(Metrics.outcome -> unit) ->
+  unit ->
+  t
+(** A fresh site in the initial consistent state (database of zeros,
+    everything up, no fail-locks).  [on_outcome] fires once per database
+    transaction this site coordinates, committed or aborted.
+    @raise Invalid_argument if [id] is outside [0, num_sites). *)
+
+val handler : t -> Message.t Raid_net.Engine.handler
+(** The event handler to register with the engine. *)
+
+(** {2 Inspection} *)
+
+val id : t -> int
+val database : t -> Raid_storage.Database.t
+val faillocks : t -> Faillock.t
+val vector : t -> Session.t
+val log : t -> Raid_storage.Update_log.t
+
+val stores : t -> item:int -> bool
+(** Current placement view for this site itself (static placement plus
+    any control-3 backups materialised here). *)
+
+val believes_stored : t -> site:int -> item:int -> bool
+(** This site's view of another site's placement. *)
+
+val locked_items : t -> int list
+(** Items currently fail-locked {e for this site} according to its own
+    table — its out-of-date copies. *)
+
+val is_recovering : t -> bool
+(** [true] while this site has out-of-date copies ([locked_items] non
+    empty) — the paper's "recovery period". *)
+
+val is_waiting : t -> bool
+(** [true] between [Recover_command] and the installation of the fetched
+    state (control-1 in flight). *)
+
+val session_number : t -> int
+(** This site's own current session number. *)
+
+val on_crash : t -> unit
+(** Reset volatile state (in-flight coordination, buffered phase-1
+    writes).  The cluster driver calls this when it fails the site;
+    database, fail-locks and session vector survive, as they would on
+    stable storage. *)

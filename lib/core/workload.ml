@@ -1,0 +1,71 @@
+module Rng = Raid_util.Rng
+
+type spec =
+  | Uniform of { max_ops : int; write_prob : float }
+  | Et1 of { branches : int; tellers_per_branch : int; accounts_per_branch : int }
+  | Wisconsin of { scan_length : int; update_ops : int; scan_prob : float }
+
+type t = { spec : spec; num_items : int; rng : Rng.t }
+
+let validate spec ~num_items =
+  let check_prob name p =
+    if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Workload: %s outside [0,1]" name)
+  in
+  if num_items <= 0 then invalid_arg "Workload: num_items must be positive";
+  match spec with
+  | Uniform { max_ops; write_prob } ->
+    if max_ops <= 0 then invalid_arg "Workload: max_ops must be positive";
+    check_prob "write_prob" write_prob
+  | Et1 { branches; tellers_per_branch; accounts_per_branch } ->
+    if branches <= 0 || tellers_per_branch <= 0 || accounts_per_branch <= 0 then
+      invalid_arg "Workload: ET1 region sizes must be positive";
+    let total = branches * (1 + tellers_per_branch + accounts_per_branch) in
+    if total > num_items then
+      invalid_arg
+        (Printf.sprintf "Workload: ET1 needs %d items but only %d available" total num_items)
+  | Wisconsin { scan_length; update_ops; scan_prob } ->
+    if scan_length <= 0 || update_ops <= 0 then
+      invalid_arg "Workload: Wisconsin sizes must be positive";
+    if scan_length > num_items then invalid_arg "Workload: scan_length exceeds num_items";
+    check_prob "scan_prob" scan_prob
+
+let create spec ~num_items ~rng =
+  validate spec ~num_items;
+  { spec; num_items; rng }
+
+let next t ~id =
+  let ops =
+    match t.spec with
+    | Uniform { max_ops; write_prob } ->
+      let size = Rng.int_in t.rng 1 max_ops in
+      List.init size (fun _ ->
+          let item = Rng.int t.rng t.num_items in
+          if Rng.bernoulli t.rng write_prob then Txn.Write item else Txn.Read item)
+    | Et1 { branches; tellers_per_branch; accounts_per_branch } ->
+      (* Item layout: [0, branches) branch records, then teller records,
+         then account records. *)
+      let branch = Rng.int t.rng branches in
+      let teller = branches + (branch * tellers_per_branch) + Rng.int t.rng tellers_per_branch in
+      let account =
+        branches + (branches * tellers_per_branch) + (branch * accounts_per_branch)
+        + Rng.int t.rng accounts_per_branch
+      in
+      [
+        Txn.Read account; Txn.Write account;
+        Txn.Read teller; Txn.Write teller;
+        Txn.Read branch; Txn.Write branch;
+      ]
+    | Wisconsin { scan_length; update_ops; scan_prob } ->
+      if Rng.bernoulli t.rng scan_prob then
+        let start = Rng.int t.rng (t.num_items - scan_length + 1) in
+        List.init scan_length (fun i -> Txn.Read (start + i))
+      else
+        List.concat_map
+          (fun _ ->
+            let item = Rng.int t.rng t.num_items in
+            [ Txn.Read item; Txn.Write item ])
+          (List.init update_ops Fun.id)
+  in
+  Txn.make ~id ops
+
+let paper_default ~max_ops = Uniform { max_ops; write_prob = 0.5 }

@@ -1,0 +1,223 @@
+type 'm event =
+  | Message of { src : int; payload : 'm }
+  | Send_failed of { dst : int; payload : 'm }
+  | Timer of 'm
+
+type trace_outcome = Delivered | Undeliverable
+
+type 'm trace_entry = {
+  trace_time : Vtime.t;
+  trace_src : int;
+  trace_dst : int;
+  trace_payload : 'm;
+  trace_outcome : trace_outcome;
+}
+
+type counters = {
+  sent : int;
+  delivered : int;
+  undeliverable : int;
+  timer_fired : int;
+  timer_discarded : int;
+}
+
+(* Internal scheduled actions.  [Arrive] evaluates deliverability at
+   arrival time; [Notify_failure] is the sender-side timeout; [Fire] is a
+   local timer. *)
+type 'm action =
+  | Arrive of { src : int; dst : int; payload : 'm }
+  | Notify_failure of { src : int; dst : int; payload : 'm }
+  | Fire of { dst : int; payload : 'm }
+
+type 'm scheduled = { at : Vtime.t; seq : int; action : 'm action }
+
+type 'm t = {
+  num_sites : int;
+  message_latency : Vtime.t;
+  failure_timeout : Vtime.t;
+  queue : 'm scheduled Heap.t;
+  handlers : 'm handler option array;
+  alive : bool array;
+  links : bool array array;
+  latencies : Vtime.t array array;  (* per-link one-way latency *)
+  mutable clock : Vtime.t;
+  mutable seq : int;
+  mutable counters : counters;
+  sent_by : int array;
+  delivered_to : int array;
+  trace_enabled : bool;
+  mutable trace_rev : 'm trace_entry list;
+}
+
+and 'm handler = 'm ctx -> 'm event -> unit
+
+and 'm ctx = { engine : 'm t; ctx_self : int; base : Vtime.t; mutable elapsed : Vtime.t }
+
+let external_source = -1
+
+let create ?(message_latency = Vtime.of_ms 9) ?failure_timeout ?(trace = false) ~num_sites () =
+  if num_sites <= 0 then invalid_arg "Engine.create: num_sites must be positive";
+  if message_latency < 0 then invalid_arg "Engine.create: negative latency";
+  let failure_timeout =
+    match failure_timeout with Some t -> t | None -> 3 * message_latency
+  in
+  if failure_timeout < message_latency then
+    invalid_arg "Engine.create: failure_timeout below message_latency";
+  {
+    num_sites;
+    message_latency;
+    failure_timeout;
+    queue =
+      Heap.create ~cmp:(fun a b ->
+          match Vtime.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c);
+    handlers = Array.make num_sites None;
+    alive = Array.make num_sites true;
+    links = Array.init num_sites (fun _ -> Array.make num_sites true);
+    latencies = Array.init num_sites (fun _ -> Array.make num_sites message_latency);
+    clock = Vtime.zero;
+    seq = 0;
+    counters = { sent = 0; delivered = 0; undeliverable = 0; timer_fired = 0; timer_discarded = 0 };
+    sent_by = Array.make num_sites 0;
+    delivered_to = Array.make num_sites 0;
+    trace_enabled = trace;
+    trace_rev = [];
+  }
+
+let register t site handler =
+  if site < 0 || site >= t.num_sites then invalid_arg "Engine.register: bad site id";
+  t.handlers.(site) <- Some handler
+
+let num_sites t = t.num_sites
+let now t = t.clock
+let message_latency t = t.message_latency
+
+let check_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Engine: bad site id"
+
+let set_alive t site up =
+  check_site t site;
+  t.alive.(site) <- up
+
+let alive t site =
+  check_site t site;
+  t.alive.(site)
+
+let set_link t a b ok =
+  check_site t a;
+  check_site t b;
+  t.links.(a).(b) <- ok;
+  t.links.(b).(a) <- ok
+
+let link_ok t a b =
+  check_site t a;
+  check_site t b;
+  a = b || t.links.(a).(b)
+
+let set_link_latency t a b latency =
+  check_site t a;
+  check_site t b;
+  if latency < 0 then invalid_arg "Engine.set_link_latency: negative latency";
+  t.latencies.(a).(b) <- latency;
+  t.latencies.(b).(a) <- latency
+
+let link_latency t a b =
+  check_site t a;
+  check_site t b;
+  t.latencies.(a).(b)
+
+let schedule t at action =
+  let at = max at t.clock in
+  Heap.push t.queue { at; seq = t.seq; action };
+  t.seq <- t.seq + 1
+
+let record_trace t ~time ~src ~dst ~payload ~outcome =
+  if t.trace_enabled then
+    t.trace_rev <-
+      { trace_time = time; trace_src = src; trace_dst = dst; trace_payload = payload;
+        trace_outcome = outcome }
+      :: t.trace_rev
+
+let submit t ~at ~src ~dst payload =
+  check_site t dst;
+  t.counters <- { t.counters with sent = t.counters.sent + 1 };
+  if src >= 0 then t.sent_by.(src) <- t.sent_by.(src) + 1;
+  let latency = if src >= 0 then t.latencies.(src).(dst) else t.message_latency in
+  schedule t (Vtime.add at latency) (Arrive { src; dst; payload })
+
+let inject t ~dst payload = submit t ~at:t.clock ~src:external_source ~dst payload
+
+let self ctx = ctx.ctx_self
+let time ctx = Vtime.add ctx.base ctx.elapsed
+
+let work ctx cost =
+  if cost < 0 then invalid_arg "Engine.work: negative cost";
+  ctx.elapsed <- Vtime.add ctx.elapsed cost
+
+let send ctx dst payload = submit ctx.engine ~at:(time ctx) ~src:ctx.ctx_self ~dst payload
+
+let set_timer ctx delay payload =
+  if delay < 0 then invalid_arg "Engine.set_timer: negative delay";
+  schedule ctx.engine (Vtime.add (time ctx) delay) (Fire { dst = ctx.ctx_self; payload })
+
+let invoke t site event =
+  match t.handlers.(site) with
+  | None -> failwith (Printf.sprintf "Engine: no handler registered for site %d" site)
+  | Some handler ->
+    let ctx = { engine = t; ctx_self = site; base = t.clock; elapsed = Vtime.zero } in
+    handler ctx event
+
+let deliverable t ~src ~dst = t.alive.(dst) && (src < 0 || link_ok t src dst)
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some { at; action; _ } ->
+    t.clock <- at;
+    (match action with
+    | Arrive { src; dst; payload } ->
+      if deliverable t ~src ~dst then begin
+        t.counters <- { t.counters with delivered = t.counters.delivered + 1 };
+        t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
+        record_trace t ~time:at ~src ~dst ~payload ~outcome:Delivered;
+        invoke t dst (Message { src; payload })
+      end
+      else begin
+        t.counters <- { t.counters with undeliverable = t.counters.undeliverable + 1 };
+        record_trace t ~time:at ~src ~dst ~payload ~outcome:Undeliverable;
+        if src >= 0 then
+          (* The sender times out [failure_timeout] after the send, i.e.
+             [failure_timeout - latency] after the failed arrival. *)
+          schedule t
+            (Vtime.add at (Vtime.sub t.failure_timeout t.message_latency))
+            (Notify_failure { src; dst; payload })
+      end
+    | Notify_failure { src; dst; payload } ->
+      if t.alive.(src) then invoke t src (Send_failed { dst; payload })
+    | Fire { dst; payload } ->
+      if t.alive.(dst) then begin
+        t.counters <- { t.counters with timer_fired = t.counters.timer_fired + 1 };
+        invoke t dst (Timer payload)
+      end
+      else
+        t.counters <- { t.counters with timer_discarded = t.counters.timer_discarded + 1 });
+    true
+
+let run ?(max_events = 10_000_000) t =
+  let rec loop remaining =
+    if remaining = 0 then failwith "Engine.run: max_events exceeded (livelock?)"
+    else if step t then loop (remaining - 1)
+  in
+  loop max_events
+
+let pending_events t = Heap.size t.queue
+let counters t = t.counters
+
+let sent_by t site =
+  check_site t site;
+  t.sent_by.(site)
+
+let delivered_to t site =
+  check_site t site;
+  t.delivered_to.(site)
+
+let trace t = List.rev t.trace_rev

@@ -1,0 +1,157 @@
+(** Deterministic discrete-event message-passing engine.
+
+    This is the repository's substitute for mini-RAID's substrate: "database
+    sites were implemented as Unix processes (on one processor with one
+    process per site)" with "a reliable message passing facility: no
+    messages were lost; messages arrived and were processed in the order
+    that they were sent" (paper §1.2).  Sites are message-driven state
+    machines; every message between live sites is delivered exactly once,
+    after a fixed latency, in send order (FIFO per link, global order
+    fixed by a sequence number), so a run is a pure function of the
+    initial state and injected inputs.
+
+    Failure model: a site can be marked down ([set_alive]); a message
+    arriving at a down site (or over a severed link) is not delivered, and
+    the sender instead receives a [Send_failed] notification once its
+    [failure_timeout] elapses — modelling the sender-side timeout that
+    Appendix A's "site is now down" branches rely on.  Virtual processing
+    cost is modelled by [work], which delays the site's subsequent sends. *)
+
+type 'm event =
+  | Message of { src : int; payload : 'm }
+      (** Normal delivery.  [src] is [external_source] for injected
+          messages (the managing site). *)
+  | Send_failed of { dst : int; payload : 'm }
+      (** The message this site sent to [dst] could not be delivered; the
+          notification arrives [failure_timeout] after the send. *)
+  | Timer of 'm
+      (** A timer set by this site has fired. *)
+
+type 'm t
+(** An engine instance, generic in the message payload type. *)
+
+type 'm ctx
+(** Handler context: identifies the receiving site and accumulates the
+    virtual processing cost of handling the current event. *)
+
+type 'm handler = 'm ctx -> 'm event -> unit
+
+type trace_outcome = Delivered | Undeliverable
+
+type 'm trace_entry = {
+  trace_time : Vtime.t;  (** arrival (or failure-detection) time *)
+  trace_src : int;
+  trace_dst : int;
+  trace_payload : 'm;
+  trace_outcome : trace_outcome;
+}
+
+val external_source : int
+(** Pseudo site id ([-1]) used as [src] for injected messages. *)
+
+val create :
+  ?message_latency:Vtime.t ->
+  ?failure_timeout:Vtime.t ->
+  ?trace:bool ->
+  num_sites:int ->
+  unit ->
+  'm t
+(** [message_latency] defaults to 9 ms, the paper's measured cost of "a
+    single communication from one site to another" (§2.1).
+    [failure_timeout] (default 3 × latency) is the sender-side wait before
+    a [Send_failed] notification; it must be at least the latency.
+    All sites start alive, fully connected and with no handler.
+    @raise Invalid_argument on non-positive [num_sites] or inconsistent
+    timing parameters. *)
+
+val register : 'm t -> int -> 'm handler -> unit
+(** [register t site handler] installs [handler]; replaces any previous
+    handler.  Events delivered to a site with no handler raise
+    [Failure]. *)
+
+val num_sites : _ t -> int
+
+val now : _ t -> Vtime.t
+(** Time of the most recently processed event (zero initially). *)
+
+val message_latency : _ t -> Vtime.t
+
+val set_alive : _ t -> int -> bool -> unit
+(** Mark a site up or down.  Pending deliveries to a down site fail at
+    their arrival time; a down site's timers are discarded when they
+    fire. *)
+
+val alive : _ t -> int -> bool
+
+val set_link : _ t -> int -> int -> bool -> unit
+(** [set_link t a b ok] sets bidirectional connectivity between [a] and
+    [b] (used to model network partitions).  Links default to connected.
+    A site is always connected to itself. *)
+
+val link_ok : _ t -> int -> int -> bool
+
+val set_link_latency : _ t -> int -> int -> Vtime.t -> unit
+(** Override the message latency of one (bidirectional) link — the
+    paper's future-work "communication delays across machines": model a
+    WAN link between two LAN clusters by raising specific pairs.  FIFO
+    order is preserved per link (latency is constant per link).
+    @raise Invalid_argument on a negative latency. *)
+
+val link_latency : _ t -> int -> int -> Vtime.t
+(** Current latency of a link ([message_latency] unless overridden;
+    injections always use [message_latency]). *)
+
+val inject : 'm t -> dst:int -> 'm -> unit
+(** Schedule a message from the managing site ([external_source]) to
+    [dst], subject to the same latency and failure rules (a failed
+    injection is silently counted, not notified). *)
+
+(** {2 Handler context operations} *)
+
+val self : _ ctx -> int
+val time : _ ctx -> Vtime.t
+(** Current virtual time inside the handler: arrival time plus the cost
+    accumulated through [work] so far. *)
+
+val work : _ ctx -> Vtime.t -> unit
+(** Model [cost] of local processing; delays this handler's subsequent
+    sends and timers. *)
+
+val send : 'm ctx -> int -> 'm -> unit
+(** Send a message from the handling site; it leaves at [time ctx]. *)
+
+val set_timer : 'm ctx -> Vtime.t -> 'm -> unit
+(** Deliver [payload] back to this site as a [Timer] event after the
+    given delay (measured from [time ctx]). *)
+
+(** {2 Execution} *)
+
+val step : 'm t -> bool
+(** Process one event; [false] when the queue is empty. *)
+
+val run : ?max_events:int -> 'm t -> unit
+(** Process events until quiescent.  @raise Failure if more than
+    [max_events] (default 10_000_000) events are processed — a guard
+    against protocol livelock in tests. *)
+
+val pending_events : _ t -> int
+
+(** {2 Accounting} *)
+
+type counters = {
+  sent : int;  (** messages submitted, including injected *)
+  delivered : int;
+  undeliverable : int;  (** arrivals at a dead site / severed link *)
+  timer_fired : int;
+  timer_discarded : int;  (** timers that fired at a down site *)
+}
+
+val counters : _ t -> counters
+
+val sent_by : _ t -> int -> int
+(** Messages sent by one site (injections are attributed to no site). *)
+
+val delivered_to : _ t -> int -> int
+
+val trace : 'm t -> 'm trace_entry list
+(** Chronological trace (empty unless [create ~trace:true]). *)

@@ -1,0 +1,17 @@
+(** Minimal binary min-heap, specialised to the event queue's needs.
+
+    Elements are ordered by a caller-supplied comparison; ties must be
+    broken by the caller (the engine uses a monotonically increasing
+    sequence number) so that event processing is fully deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum, or [None] when empty. *)
+
+val peek : 'a t -> 'a option

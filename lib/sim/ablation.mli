@@ -1,0 +1,119 @@
+(** Ablation studies for the design choices the paper discusses.
+
+    Each ablation returns its raw rows plus a rendering; the bench
+    harness prints them after the paper tables and figures.
+
+    - {!two_step_recovery} — §3.2's proposed two-step recovery (threshold
+      + batch copiers) against the paper's on-demand implementation.
+    - {!rw_ratio} — §5's discussion of read-heavy workloads: how the
+      write probability changes fail-lock accumulation and clearing.
+    - {!coordinator_placement} — how much traffic the managing site sends
+      to the recovering site (the Figure-1 routing inference): copier
+      count vs. recovery length.
+    - {!embed_clears} — §2.2.3's suggestion to embed fail-lock clearing
+      in the commit protocol instead of special transactions.
+    - {!protocol_availability} — ROWAA against strict read-one/write-all
+      and majority quorum on an identical failure schedule (§1.1's
+      availability claim).
+    - {!partial_replication} — §3.2's control transaction type 3 under a
+      partially replicated database. *)
+
+type table = Raid_util.Table.t
+
+(** {2 A1: two-step recovery} *)
+
+type recovery_row = {
+  policy_label : string;
+  txns_to_recover : int;  (** transactions after the recovery point *)
+  copier_requests : int;
+  batch_rounds : int;
+}
+
+val two_step_recovery : ?seed:int -> unit -> recovery_row list * table
+
+(** {2 A2: read/write ratio} *)
+
+type rw_row = {
+  write_prob : float;
+  peak_locked : int;  (** items locked after the 100-transaction outage *)
+  rw_txns_to_recover : int;
+  rw_copiers : int;
+}
+
+val rw_ratio : ?seed:int -> ?write_probs:float list -> unit -> rw_row list * table
+
+(** {2 A3: coordinator placement during recovery} *)
+
+type placement_row = {
+  recovering_weight : float;
+  pl_txns_to_recover : int;
+  pl_copiers : int;
+}
+
+val coordinator_placement : ?seed:int -> ?weights:float list -> unit -> placement_row list * table
+
+(** {2 A4: embedding fail-lock clears in the commit protocol} *)
+
+type embed_row = {
+  embed_label : string;
+  copier_txn_ms : float;
+  specials_sent : int;
+}
+
+val embed_clears : ?seed:int -> ?trials:int -> unit -> embed_row list * table
+
+(** {2 A5: protocol availability comparison} *)
+
+type protocol_row = {
+  protocol_label : string;
+  committed : int;
+  aborted : int;
+  avg_txn_ms : float;  (** committed transactions *)
+  messages : int;  (** total intersite messages *)
+}
+
+val protocol_availability : ?seed:int -> ?txns:int -> unit -> protocol_row list * table
+
+(** {2 A6: partial replication and control transaction type 3} *)
+
+type partial_row = {
+  spawn_label : string;
+  pr_committed : int;
+  pr_aborted : int;
+  backups_spawned : int;
+}
+
+val partial_replication : ?seed:int -> unit -> partial_row list * table
+
+(** {2 A8: communication delays}
+
+    The paper's §5 future work: "take into account ... communication
+    delays across machines".  Sweeps the intersite message latency and
+    reports how transaction and control-transaction times scale — each is
+    linear in the latency with a slope equal to its message depth. *)
+
+type latency_row = {
+  latency_ms : float;
+  lat_txn_ms : float;  (** committed coordinator mean *)
+  lat_control1_ms : float;  (** control-1 at the recovering site *)
+}
+
+val communication_delays : ?seed:int -> ?latencies_ms:float list -> unit -> latency_row list * table
+
+(** {2 A9: benchmark workloads}
+
+    The paper's §5 future work: "repeat our experiments with the
+    well-known benchmarks ET1 ... and the Wisconsin benchmark".  Runs the
+    Experiment-2 schedule under each workload. *)
+
+type workload_row = {
+  workload_label : string;
+  wl_peak_locked : int;
+  wl_txns_to_recover : int;
+  wl_copiers : int;
+  wl_aborted : int;
+}
+
+val benchmark_workloads : ?seed:int -> unit -> workload_row list * table
+
+val all_tables : ?seed:int -> unit -> table list

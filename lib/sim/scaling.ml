@@ -1,0 +1,221 @@
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Workload = Raid_core.Workload
+module Metrics = Raid_core.Metrics
+module Stats = Raid_util.Stats
+module Table = Raid_util.Table
+
+type control1_row = {
+  num_sites : int;
+  num_items : int;
+  recovering_ms : float;
+  operational_ms : float;
+  control2_ms : float;
+}
+
+let mean_of = function [] -> Float.nan | samples -> Stats.mean samples
+
+let control1_once ~seed ~num_sites ~num_items =
+  let config = Config.make ~num_sites ~num_items () in
+  let actions =
+    List.concat_map
+      (fun _ ->
+        [
+          Scenario.Fail (num_sites - 1);
+          Scenario.Run_txns 2;
+          Scenario.Recover (num_sites - 1);
+          Scenario.Run_until_recovered { site = num_sites - 1; max_txns = 200 };
+        ])
+      (List.init 10 Fun.id)
+  in
+  let scenario =
+    Scenario.make ~policy:(Scenario.Fixed 0) ~seed ~config
+      ~workload:(Workload.Uniform { max_ops = 5; write_prob = 0.5 })
+      actions
+  in
+  let result = Runner.run scenario in
+  let metrics = Cluster.metrics result.Runner.cluster in
+  {
+    num_sites;
+    num_items;
+    recovering_ms = mean_of metrics.Metrics.control1_recovering_ms;
+    operational_ms = mean_of metrics.Metrics.control1_operational_ms;
+    control2_ms = mean_of metrics.Metrics.control2_ms;
+  }
+
+let control1_scaling ?(seed = 31) ?(site_counts = [ 2; 4; 8; 16 ])
+    ?(item_counts = [ 50; 200; 800 ]) () =
+  List.map (fun num_sites -> control1_once ~seed ~num_sites ~num_items:50) site_counts
+  @ List.map (fun num_items -> control1_once ~seed ~num_sites:4 ~num_items) item_counts
+
+let fmt_ms v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
+
+let control1_table rows =
+  let table =
+    Table.create
+      ~title:
+        "Control transaction scaling (paper \xc2\xa72.2.2: type-1-recovering grows with sites, \
+         type-1-operational with database size, type 2 with neither)"
+      [
+        ("sites", Table.Right);
+        ("items", Table.Right);
+        ("type 1 @ recovering (ms)", Table.Right);
+        ("type 1 @ operational (ms)", Table.Right);
+        ("type 2 (ms)", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.num_sites;
+          string_of_int r.num_items;
+          fmt_ms r.recovering_ms;
+          fmt_ms r.operational_ms;
+          fmt_ms r.control2_ms;
+        ])
+    rows;
+  table
+
+type seed_summary = {
+  seeds : int;
+  peak : Stats.summary;
+  recovery_txns : Stats.summary;
+  copiers : Stats.summary;
+  first_10 : Stats.summary;
+  last_10 : Stats.summary;
+}
+
+let experiment2_seeds ?(seeds = List.init 25 (fun i -> i + 1)) ?(recovering_weight = 0.05) () =
+  let runs = List.map (fun seed -> Experiment2.run ~seed ~recovering_weight ()) seeds in
+  let stat f = Stats.summarize (List.map (fun r -> f r.Experiment2.stats) runs) in
+  {
+    seeds = List.length seeds;
+    peak = stat (fun s -> float_of_int s.Experiment2.peak_faillocks);
+    recovery_txns = stat (fun s -> float_of_int s.Experiment2.txns_to_recover);
+    copiers = stat (fun s -> float_of_int s.Experiment2.copier_requests);
+    first_10 =
+      stat (fun s -> float_of_int (Option.value ~default:0 s.Experiment2.first_10_cleared_in));
+    last_10 =
+      stat (fun s -> float_of_int (Option.value ~default:0 s.Experiment2.last_10_cleared_in));
+  }
+
+let experiment2_seeds_table summary =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Experiment 2 across %d seeds (the paper reports one run; paper values: peak >45, \
+            recovery 160, copiers 2, first-10 6, last-10 106)"
+           summary.seeds)
+      [
+        ("statistic", Table.Left);
+        ("mean", Table.Right);
+        ("sd", Table.Right);
+        ("min", Table.Right);
+        ("max", Table.Right);
+      ]
+  in
+  let add name (s : Stats.summary) =
+    Table.add_row table
+      [
+        name;
+        Printf.sprintf "%.1f" s.Stats.mean;
+        Printf.sprintf "%.1f" s.Stats.stddev;
+        Printf.sprintf "%.0f" s.Stats.min;
+        Printf.sprintf "%.0f" s.Stats.max;
+      ]
+  in
+  add "peak fail-locks (of 50)" summary.peak;
+  add "transactions to recover" summary.recovery_txns;
+  add "copier transactions" summary.copiers;
+  add "txns to clear first 10" summary.first_10;
+  add "txns to clear last 10" summary.last_10;
+  table
+
+type cluster_size_row = {
+  cs_sites : int;
+  cs_peak : int;
+  cs_recovery_txns : int;
+  cs_copiers : int;
+}
+
+let recovery_vs_cluster_size ?(seed = 33) ?(site_counts = [ 2; 4; 8 ]) () =
+  let run num_sites =
+    let config = Config.make ~num_sites ~num_items:50 () in
+    let scenario =
+      Scenario.make ~policy:Scenario.Uniform_random ~seed ~config
+        ~workload:(Workload.Uniform { max_ops = 5; write_prob = 0.5 })
+        [
+          Scenario.Fail 0;
+          Scenario.Run_txns 100;
+          Scenario.Recover 0;
+          Scenario.Run_until_recovered { site = 0; max_txns = 2000 };
+        ]
+    in
+    let result = Runner.run scenario in
+    let peak =
+      List.fold_left
+        (fun acc r ->
+          if r.Runner.index <= 100 then max acc r.Runner.faillocks_per_site.(0) else acc)
+        0 result.Runner.records
+    in
+    let recovery =
+      match List.rev result.Runner.records with
+      | [] -> 0
+      | last :: _ -> max 0 (last.Runner.index - 100)
+    in
+    {
+      cs_sites = num_sites;
+      cs_peak = peak;
+      cs_recovery_txns = recovery;
+      cs_copiers = (Cluster.metrics result.Runner.cluster).Metrics.copier_requests;
+    }
+  in
+  List.map run site_counts
+
+let cluster_size_table rows =
+  let table =
+    Table.create
+      ~title:"Experiment-2 schedule at different cluster sizes (the paper used 2 sites)"
+      [
+        ("sites", Table.Right);
+        ("peak locks (site 0)", Table.Right);
+        ("txns to recover", Table.Right);
+        ("copiers", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.cs_sites;
+          string_of_int r.cs_peak;
+          string_of_int r.cs_recovery_txns;
+          string_of_int r.cs_copiers;
+        ])
+    rows;
+  table
+
+type scenario1_summary = { s1_seeds : int; aborts : Stats.summary }
+
+let scenario1_seeds ?(seeds = List.init 25 (fun i -> i + 1)) () =
+  let aborts =
+    List.map (fun seed -> float_of_int (Experiment3.scenario1 ~seed ()).Experiment3.aborted) seeds
+  in
+  { s1_seeds = List.length seeds; aborts = Stats.summarize aborts }
+
+let scenario1_seeds_table summary =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Experiment 3 scenario 1 aborts across %d seeds (paper reports 13 in one run)"
+           summary.s1_seeds)
+      [ ("statistic", Table.Left); ("value", Table.Right) ]
+  in
+  Table.add_row table [ "mean aborts"; Printf.sprintf "%.1f" summary.aborts.Stats.mean ];
+  Table.add_row table [ "sd"; Printf.sprintf "%.1f" summary.aborts.Stats.stddev ];
+  Table.add_row table
+    [ "range"; Printf.sprintf "%.0f-%.0f" summary.aborts.Stats.min summary.aborts.Stats.max ];
+  table

@@ -1,0 +1,63 @@
+(** Scaling studies behind the paper's qualitative cost claims, and
+    multi-seed robustness statistics for the figures.
+
+    The paper asserts (§2.2.2) that the control-1 time at the recovering
+    site "is dependent on the number of sites", that the operational-site
+    side "is dependent on the size of the database", and that control-2
+    "is independent of the number of sites".  {!control1_scaling} measures
+    all three dependencies.
+
+    The figures report a single run each; {!experiment2_seeds} replays
+    Experiment 2 over many seeds and summarises the distribution of its
+    headline statistics, so EXPERIMENTS.md can state ranges rather than
+    one lucky sample. *)
+
+type control1_row = {
+  num_sites : int;
+  num_items : int;
+  recovering_ms : float;
+  operational_ms : float;
+  control2_ms : float;
+}
+
+val control1_scaling :
+  ?seed:int -> ?site_counts:int list -> ?item_counts:int list -> unit -> control1_row list
+
+val control1_table : control1_row list -> Raid_util.Table.t
+
+type seed_summary = {
+  seeds : int;
+  peak : Raid_util.Stats.summary;  (** fail-locks at the recovery point *)
+  recovery_txns : Raid_util.Stats.summary;
+  copiers : Raid_util.Stats.summary;
+  first_10 : Raid_util.Stats.summary;
+  last_10 : Raid_util.Stats.summary;
+}
+
+val experiment2_seeds : ?seeds:int list -> ?recovering_weight:float -> unit -> seed_summary
+
+val experiment2_seeds_table : seed_summary -> Raid_util.Table.t
+
+type cluster_size_row = {
+  cs_sites : int;
+  cs_peak : int;
+  cs_recovery_txns : int;
+  cs_copiers : int;
+}
+
+val recovery_vs_cluster_size : ?seed:int -> ?site_counts:int list -> unit -> cluster_size_row list
+(** The Experiment-2 schedule at different cluster sizes (the paper used
+    2 sites): peak fail-locks for the failed site, recovery length and
+    copier count. *)
+
+val cluster_size_table : cluster_size_row list -> Raid_util.Table.t
+
+type scenario1_summary = {
+  s1_seeds : int;
+  aborts : Raid_util.Stats.summary;
+}
+
+val scenario1_seeds : ?seeds:int list -> unit -> scenario1_summary
+(** Experiment 3 scenario 1's abort count across seeds (paper: 13). *)
+
+val scenario1_seeds_table : scenario1_summary -> Raid_util.Table.t

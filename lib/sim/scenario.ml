@@ -1,0 +1,26 @@
+type coordinator_policy =
+  | Fixed of int
+  | Uniform_random
+  | Weighted of (int * float) list
+  | Round_robin
+
+type action =
+  | Run_txns of int
+  | Fail of int
+  | Recover of int
+  | Set_policy of coordinator_policy
+  | Run_until_recovered of { site : int; max_txns : int }
+  | Run_until_consistent of { max_txns : int }
+
+type t = {
+  config : Raid_core.Config.t;
+  detection : Raid_core.Cluster.detection;
+  workload : Raid_core.Workload.spec;
+  policy : coordinator_policy;
+  seed : int;
+  actions : action list;
+}
+
+let make ?(detection = Raid_core.Cluster.Immediate) ?(policy = Uniform_random) ?(seed = 42)
+    ~config ~workload actions =
+  { config; detection; workload; policy; seed; actions }

@@ -1,0 +1,81 @@
+type copy = { mutable value : int; mutable version : int; mutable present : bool }
+
+type t = { copies : copy array }
+
+type write = { item : int; value : int; version : int }
+
+let create_with ~num_items ~stored =
+  if num_items < 0 then invalid_arg "Database.create: negative num_items";
+  { copies = Array.init num_items (fun i -> { value = 0; version = 0; present = stored i }) }
+
+let create ~num_items = create_with ~num_items ~stored:(fun _ -> true)
+let create_partial ~num_items ~stored = create_with ~num_items ~stored
+
+let num_items t = Array.length t.copies
+
+let check t item =
+  if item < 0 || item >= Array.length t.copies then invalid_arg "Database: item out of range"
+
+let stores t item =
+  check t item;
+  t.copies.(item).present
+
+let materialize t { item; value; version } =
+  check t item;
+  let c = t.copies.(item) in
+  c.value <- value;
+  c.version <- version;
+  c.present <- true
+
+let drop t item =
+  check t item;
+  t.copies.(item).present <- false
+
+let read t item =
+  check t item;
+  let c = t.copies.(item) in
+  if c.present then Some (c.value, c.version) else None
+
+let version t item = Option.map snd (read t item)
+
+let apply t { item; value; version } =
+  check t item;
+  let c = t.copies.(item) in
+  if c.present && version <= c.version then
+    invalid_arg
+      (Printf.sprintf "Database.apply: version regression on item %d (%d <= %d)" item version
+         c.version);
+  c.value <- value;
+  c.version <- version;
+  c.present <- true
+
+let apply_all t writes = List.iter (apply t) writes
+
+let snapshot t =
+  Array.map (fun c -> if c.present then Some (c.value, c.version) else None) t.copies
+
+let items_behind replica reference =
+  let behind = ref [] in
+  for item = num_items replica - 1 downto 0 do
+    match (read replica item, read reference item) with
+    | Some (_, v_replica), Some (_, v_reference) when v_replica < v_reference ->
+      behind := item :: !behind
+    | _ -> ()
+  done;
+  !behind
+
+let equal a b =
+  num_items a = num_items b
+  && Array.for_all2
+       (fun (x : copy) (y : copy) ->
+         x.present = y.present && ((not x.present) || (x.value = y.value && x.version = y.version)))
+       a.copies b.copies
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun item c ->
+      if c.present then Format.fprintf ppf "%3d: value=%d version=%d@," item c.value c.version
+      else Format.fprintf ppf "%3d: (absent)@," item)
+    t.copies;
+  Format.fprintf ppf "@]"

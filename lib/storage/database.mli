@@ -1,0 +1,67 @@
+(** One site's replica of the (fully or partially) replicated database.
+
+    The paper keeps "data copies within the virtual memory of each process
+    which represented a site" (§1.2, assumption 3), factoring out I/O; we
+    do the same.  Each copy of a data item carries a [value] and a
+    [version] — the global commit sequence number of the last update
+    applied to this copy.  Versions order copies: a copy is *out of date*
+    exactly when its version is below the highest version of that item on
+    any operational site, which is the condition fail-locks track.
+
+    Items are identified by dense indices [0 .. num_items-1], matching the
+    paper's model of a fixed hot set ("the portion of the database
+    consisting of very frequently referenced data items"). *)
+
+type t
+
+type write = { item : int; value : int; version : int }
+(** One committed update to one item. *)
+
+val create : num_items:int -> t
+(** All items start present with value 0 and version 0 (consistent across
+    sites).  @raise Invalid_argument on negative [num_items]. *)
+
+val create_partial : num_items:int -> stored:(int -> bool) -> t
+(** Partial replication: only items with [stored item = true] have a local
+    copy; the rest are absent until materialised (control transaction
+    type 3). *)
+
+val num_items : t -> int
+
+val stores : t -> int -> bool
+(** Whether this replica currently holds a copy of the item. *)
+
+val materialize : t -> write -> unit
+(** Create a local copy from an up-to-date remote copy (control type 3 /
+    copier under partial replication).  Replaces any existing copy. *)
+
+val drop : t -> int -> unit
+(** Remove the local copy of an item (shedding a backup copy).
+    @raise Invalid_argument if the item is out of range. *)
+
+val read : t -> int -> (int * int) option
+(** [read t item] is [Some (value, version)], or [None] when the item is
+    not stored locally.  @raise Invalid_argument if out of range. *)
+
+val version : t -> int -> int option
+
+val apply : t -> write -> unit
+(** Apply a committed write.  Versions must not regress: applying a write
+    with a version at or below the stored one raises [Invalid_argument] —
+    the engine's FIFO delivery and the protocol's serial execution make
+    regressions a protocol bug, so we fail loudly.  Applying to an absent
+    item materialises it (a write refreshes the copy). *)
+
+val apply_all : t -> write list -> unit
+
+val snapshot : t -> (int * int) option array
+(** Per-item [(value, version)] copies; [None] for absent items. *)
+
+val items_behind : t -> t -> int list
+(** [items_behind replica reference] lists items stored by both whose
+    version in [replica] is strictly below that in [reference]. *)
+
+val equal : t -> t -> bool
+(** Same item count and identical (value, version) for every item. *)
+
+val pp : Format.formatter -> t -> unit

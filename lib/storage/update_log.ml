@@ -1,0 +1,23 @@
+type entry = { txn : int; write : Database.write; applied_at : int }
+
+type t = { mutable entries_rev : entry list; mutable length : int }
+
+let create () = { entries_rev = []; length = 0 }
+
+let append t entry =
+  t.entries_rev <- entry :: t.entries_rev;
+  t.length <- t.length + 1
+
+let length t = t.length
+let entries t = List.rev t.entries_rev
+
+let entries_for_item t item =
+  List.filter (fun e -> e.write.Database.item = item) (entries t)
+
+let last_version_of t item =
+  let rec find = function
+    | [] -> None
+    | e :: rest ->
+      if e.write.Database.item = item then Some e.write.Database.version else find rest
+  in
+  find t.entries_rev

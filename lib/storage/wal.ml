@@ -1,0 +1,64 @@
+type entry = { txn : int; write : Database.write }
+
+type t = {
+  checkpoint_interval : int;
+  mutable checkpoint_image : (int * int) option array;  (* (value, version) or absent *)
+  mutable log_rev : entry list;
+  mutable log_length : int;
+  mutable checkpoints_taken : int;
+  mutable session : int;
+}
+
+let create ?(checkpoint_interval = 64) ~num_items () =
+  if checkpoint_interval <= 0 then invalid_arg "Wal.create: non-positive checkpoint interval";
+  if num_items < 0 then invalid_arg "Wal.create: negative num_items";
+  {
+    checkpoint_interval;
+    checkpoint_image = Array.make num_items (Some (0, 0));
+    log_rev = [];
+    log_length = 0;
+    checkpoints_taken = 0;
+    session = 1;
+  }
+
+let append t entry =
+  t.log_rev <- entry :: t.log_rev;
+  t.log_length <- t.log_length + 1
+
+let log_length t = t.log_length
+let entries t = List.rev t.log_rev
+
+let checkpoint t db =
+  if Database.num_items db <> Array.length t.checkpoint_image then
+    invalid_arg "Wal.checkpoint: database shape mismatch";
+  t.checkpoint_image <- Database.snapshot db;
+  t.log_rev <- [];
+  t.log_length <- 0;
+  t.checkpoints_taken <- t.checkpoints_taken + 1
+
+let maybe_checkpoint t db =
+  if t.log_length >= t.checkpoint_interval then begin
+    checkpoint t db;
+    true
+  end
+  else false
+
+let checkpoints_taken t = t.checkpoints_taken
+
+let replay_into t db =
+  if Database.num_items db <> Array.length t.checkpoint_image then
+    invalid_arg "Wal.replay_into: database shape mismatch";
+  Array.iteri
+    (fun item copy ->
+      match copy with
+      | Some (value, version) -> Database.materialize db { Database.item; value; version }
+      | None -> Database.drop db item)
+    t.checkpoint_image;
+  List.iter (fun { write; _ } -> Database.materialize db write) (entries t);
+  t.log_length
+
+let session t = t.session
+
+let record_session t session =
+  if session <= t.session then invalid_arg "Wal.record_session: session numbers must increase";
+  t.session <- session

@@ -1,0 +1,60 @@
+(** Simulated stable storage: a write-ahead log with checkpoints.
+
+    The paper factors data I/O out ("our system kept data copies within
+    the virtual memory of each process", §1.2 assumption 3), which this
+    repository reproduces by default.  For users who want crashes to mean
+    something, [Raid_core.Config.durability = Wal _] switches each site to
+    this store: every committed write is logged before the transaction
+    completes, the volatile database is {e wiped} on a crash, and recovery
+    rebuilds it by replaying the last checkpoint plus the log tail.  The
+    site's own session number also lives here, because session numbers
+    must be monotone across crashes.
+
+    The store is an in-memory simulation of a disk: nothing is written to
+    the file system, but the information flow is exactly that of a
+    checkpointed redo log, so recovery correctness is exercised for
+    real. *)
+
+type entry = { txn : int; write : Database.write }
+
+type t
+
+val create : ?checkpoint_interval:int -> num_items:int -> unit -> t
+(** A fresh store whose checkpoint is the initial database (all items
+    value 0, version 0).  [checkpoint_interval] (default 64) is the
+    number of appended entries after which {!maybe_checkpoint} compacts.
+    @raise Invalid_argument on non-positive interval or negative
+    [num_items]. *)
+
+val append : t -> entry -> unit
+(** Log one committed write (redo record). *)
+
+val log_length : t -> int
+(** Entries since the last checkpoint. *)
+
+val entries : t -> entry list
+(** The current log tail, oldest first. *)
+
+val checkpoint : t -> Database.t -> unit
+(** Compact: snapshot the given database as the new checkpoint and
+    truncate the log.  The database must already contain every logged
+    write (it is the authoritative copy at a quiescent point). *)
+
+val maybe_checkpoint : t -> Database.t -> bool
+(** [checkpoint] iff the log tail has reached the interval; returns
+    whether it did. *)
+
+val checkpoints_taken : t -> int
+
+val replay_into : t -> Database.t -> int
+(** Rebuild the database from the checkpoint plus the log tail: every
+    item is restored to its checkpointed state and redo records are
+    re-applied in order.  Returns the number of log entries replayed.
+    @raise Invalid_argument if the database shape differs. *)
+
+val session : t -> int
+(** The durably stored session number (initially 1). *)
+
+val record_session : t -> int -> unit
+(** Persist a new session number.  @raise Invalid_argument if it does
+    not increase. *)

@@ -1,0 +1,78 @@
+type t = { capacity : int; bits : Bytes.t }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create: negative capacity";
+  { capacity; bits = Bytes.make ((capacity + 7) / 8) '\000' }
+
+let capacity t = t.capacity
+
+let copy t = { capacity = t.capacity; bits = Bytes.copy t.bits }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of range"
+
+let set t i =
+  check t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b lor (1 lsl (i land 7)))
+
+let clear t i =
+  check t i;
+  let b = Bytes.get_uint8 t.bits (i lsr 3) in
+  Bytes.set_uint8 t.bits (i lsr 3) (b land lnot (1 lsl (i land 7)))
+
+let assign t i b = if b then set t i else clear t i
+
+let mem t i =
+  check t i;
+  Bytes.get_uint8 t.bits (i lsr 3) land (1 lsl (i land 7)) <> 0
+
+let is_empty t =
+  let n = Bytes.length t.bits in
+  let rec loop i = i >= n || (Bytes.get t.bits i = '\000' && loop (i + 1)) in
+  loop 0
+
+let popcount_byte b =
+  let b = b - ((b lsr 1) land 0x55) in
+  let b = (b land 0x33) + ((b lsr 2) land 0x33) in
+  (b + (b lsr 4)) land 0x0F
+
+let cardinal t =
+  let n = Bytes.length t.bits in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    count := !count + popcount_byte (Bytes.get_uint8 t.bits i)
+  done;
+  !count
+
+let clear_all t = Bytes.fill t.bits 0 (Bytes.length t.bits) '\000'
+
+let union_into ~dst src =
+  if dst.capacity <> src.capacity then invalid_arg "Bitset.union_into: capacity mismatch";
+  for i = 0 to Bytes.length dst.bits - 1 do
+    Bytes.set_uint8 dst.bits i (Bytes.get_uint8 dst.bits i lor Bytes.get_uint8 src.bits i)
+  done
+
+let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list capacity members =
+  let t = create capacity in
+  List.iter (set t) members;
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',') Format.pp_print_int)
+    (to_list t)

@@ -1,0 +1,59 @@
+(** Fixed-capacity bitsets.
+
+    The paper implements fail-locks as "a bit map for each data item"
+    whose width is the number of possible sites, so that "fail-lock
+    operations [can] be performed very quickly" (§1.2).  This module is
+    that bitmap: a flat [Bytes.t]-backed set over indices
+    [0 .. capacity-1] with O(1) set/clear/test and O(capacity/8)
+    iteration, union and population count. *)
+
+type t
+
+val create : int -> t
+(** [create capacity] is an empty set over [0 .. capacity-1].
+    @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : t -> int
+(** Number of representable members. *)
+
+val copy : t -> t
+
+val set : t -> int -> unit
+(** @raise Invalid_argument if the index is out of range. *)
+
+val clear : t -> int -> unit
+(** @raise Invalid_argument if the index is out of range. *)
+
+val assign : t -> int -> bool -> unit
+(** [assign t i b] sets bit [i] to [b]. *)
+
+val mem : t -> int -> bool
+(** @raise Invalid_argument if the index is out of range. *)
+
+val is_empty : t -> bool
+
+val cardinal : t -> int
+(** Population count. *)
+
+val clear_all : t -> unit
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val equal : t -> t -> bool
+(** Structural equality; capacities must match for [true]. *)
+
+val iter : (int -> unit) -> t -> unit
+(** [iter f t] applies [f] to each member in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val to_list : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list capacity members]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{i1,i2,...}]. *)

@@ -1,0 +1,107 @@
+type series = { label : string; glyph : char; points : (float * float) list }
+
+type t = {
+  width : int;
+  height : int;
+  title : string;
+  x_label : string;
+  y_label : string;
+  mutable series : series list;  (* reversed *)
+}
+
+let create ?(width = 72) ?(height = 20) ~title ~x_label ~y_label () =
+  if width < 2 || height < 2 then invalid_arg "Chart.create: degenerate size";
+  { width; height; title; x_label; y_label; series = [] }
+
+let add_series t s = t.series <- s :: t.series
+
+let bounds series =
+  let fold f init =
+    List.fold_left
+      (fun acc s -> List.fold_left (fun acc (x, y) -> f acc x y) acc s.points)
+      init series
+  in
+  let x_min = fold (fun acc x _ -> Float.min acc x) Float.infinity in
+  let x_max = fold (fun acc x _ -> Float.max acc x) Float.neg_infinity in
+  let y_min = fold (fun acc _ y -> Float.min acc y) Float.infinity in
+  let y_max = fold (fun acc _ y -> Float.max acc y) Float.neg_infinity in
+  if x_min > x_max then None
+  else
+    (* Widen degenerate ranges so scaling stays well-defined. *)
+    let widen lo hi = if lo = hi then (lo -. 0.5, hi +. 0.5) else (lo, hi) in
+    let x_min, x_max = widen x_min x_max in
+    let y_min, y_max = widen (Float.min y_min 0.0) y_max in
+    Some (x_min, x_max, y_min, y_max)
+
+let render t =
+  let series = List.rev t.series in
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer t.title;
+  Buffer.add_char buffer '\n';
+  (match bounds series with
+  | None ->
+    Buffer.add_string buffer "  (no data)\n"
+  | Some (x_min, x_max, y_min, y_max) ->
+    let grid = Array.make_matrix t.height t.width ' ' in
+    let to_col x =
+      int_of_float (Float.round ((x -. x_min) /. (x_max -. x_min) *. float_of_int (t.width - 1)))
+    in
+    let to_row y =
+      (t.height - 1)
+      - int_of_float (Float.round ((y -. y_min) /. (y_max -. y_min) *. float_of_int (t.height - 1)))
+    in
+    let plot_segment glyph (x0, y0) (x1, y1) =
+      (* Draw with column-stepped interpolation: one glyph per column
+         between the two points, so monotone series read as a line. *)
+      let c0 = to_col x0 and c1 = to_col x1 in
+      let steps = max 1 (abs (c1 - c0)) in
+      for k = 0 to steps do
+        let f = float_of_int k /. float_of_int steps in
+        let x = x0 +. (f *. (x1 -. x0)) and y = y0 +. (f *. (y1 -. y0)) in
+        grid.(to_row y).(to_col x) <- glyph
+      done
+    in
+    List.iter
+      (fun s ->
+        let sorted = List.sort (fun (a, _) (b, _) -> compare a b) s.points in
+        match sorted with
+        | [] -> ()
+        | first :: rest ->
+          let (x0, y0) = first in
+          grid.(to_row y0).(to_col x0) <- s.glyph;
+          ignore
+            (List.fold_left
+               (fun prev point ->
+                 plot_segment s.glyph prev point;
+                 point)
+               first rest))
+      series;
+    let y_tick row =
+      let y = y_max -. (float_of_int row /. float_of_int (t.height - 1) *. (y_max -. y_min)) in
+      Format.asprintf "%8.1f" y
+    in
+    Buffer.add_string buffer (Format.asprintf "  %s\n" t.y_label);
+    for row = 0 to t.height - 1 do
+      let label =
+        if row mod 4 = 0 || row = t.height - 1 then y_tick row else String.make 8 ' '
+      in
+      Buffer.add_string buffer label;
+      Buffer.add_string buffer " |";
+      Buffer.add_string buffer (String.init t.width (fun c -> grid.(row).(c)));
+      Buffer.add_char buffer '\n'
+    done;
+    Buffer.add_string buffer (String.make 9 ' ');
+    Buffer.add_char buffer '+';
+    Buffer.add_string buffer (String.make t.width '-');
+    Buffer.add_char buffer '\n';
+    Buffer.add_string buffer
+      (Format.asprintf "%s %-8.1f%s%.1f\n" (String.make 9 ' ') x_min
+         (String.make (max 1 (t.width - 16)) ' ')
+         x_max);
+    Buffer.add_string buffer (Format.asprintf "%s(%s)\n" (String.make 10 ' ') t.x_label));
+  List.iter
+    (fun s -> Buffer.add_string buffer (Format.asprintf "  %c = %s\n" s.glyph s.label))
+    series;
+  Buffer.contents buffer
+
+let print t = print_string (render t)

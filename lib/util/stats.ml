@@ -1,0 +1,74 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let require_nonempty = function
+  | [] -> invalid_arg "Stats: empty sample list"
+  | samples -> samples
+
+let mean samples =
+  let samples = require_nonempty samples in
+  List.fold_left ( +. ) 0.0 samples /. float_of_int (List.length samples)
+
+let stddev samples =
+  let samples = require_nonempty samples in
+  let n = List.length samples in
+  if n < 2 then 0.0
+  else
+    let m = mean samples in
+    let sum_sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
+    sqrt (sum_sq /. float_of_int (n - 1))
+
+let percentile p samples =
+  if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
+  let samples = require_nonempty samples in
+  let sorted = Array.of_list samples in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 1 then sorted.(0)
+  else
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let summarize samples =
+  let samples = require_nonempty samples in
+  {
+    count = List.length samples;
+    mean = mean samples;
+    stddev = stddev samples;
+    min = List.fold_left Float.min Float.infinity samples;
+    max = List.fold_left Float.max Float.neg_infinity samples;
+    p50 = percentile 0.5 samples;
+    p95 = percentile 0.95 samples;
+    p99 = percentile 0.99 samples;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+module Accumulator = struct
+  type t = { mutable n : int; mutable mu : float; mutable m2 : float }
+
+  let create () = { n = 0; mu = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mu in
+    t.mu <- t.mu +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mu))
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0.0 else t.mu
+  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
+end

@@ -1,0 +1,48 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to report the averages the paper
+    tables quote ("the times presented here are the averages of the
+    recorded times", §2.1) along with dispersion measures the paper
+    omits. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation; 0 when count < 2 *)
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on the empty list. *)
+
+val mean : float list -> float
+(** @raise Invalid_argument on the empty list. *)
+
+val stddev : float list -> float
+(** Sample standard deviation; 0 when fewer than two samples.
+    @raise Invalid_argument on the empty list. *)
+
+val percentile : float -> float list -> float
+(** [percentile p samples] with [p] in [0,1], linear interpolation between
+    closest ranks.  @raise Invalid_argument on the empty list or [p]
+    outside [0,1]. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Incremental accumulator (Welford) for streaming measurement. *)
+module Accumulator : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val stddev : t -> float
+  (** 0 when count < 2. *)
+end

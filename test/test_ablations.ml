@@ -1,0 +1,113 @@
+(* Direction checks for every ablation study: the qualitative claim each
+   table makes must hold, so a regression that flips a conclusion fails
+   loudly even if no absolute number is pinned. *)
+
+module Ablation = Raid_sim.Ablation
+module Concurrent = Raid_sim.Concurrent
+
+let test_two_step_speeds_recovery () =
+  match fst (Ablation.two_step_recovery ()) with
+  | [ on_demand; threshold; immediate ] ->
+    Alcotest.(check bool) "threshold batching faster" true
+      (threshold.Ablation.txns_to_recover < on_demand.Ablation.txns_to_recover);
+    Alcotest.(check bool) "immediate batching fastest" true
+      (immediate.Ablation.txns_to_recover <= threshold.Ablation.txns_to_recover);
+    Alcotest.(check int) "on-demand uses no batches" 0 on_demand.Ablation.batch_rounds
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_rw_ratio_directions () =
+  let rows, _ = Ablation.rw_ratio ~write_probs:[ 0.1; 0.9 ] () in
+  match rows with
+  | [ read_heavy; write_heavy ] ->
+    Alcotest.(check bool) "write-heavy locks more during outage" true
+      (write_heavy.Ablation.peak_locked > read_heavy.Ablation.peak_locked);
+    Alcotest.(check bool) "read-heavy leans on copiers" true
+      (read_heavy.Ablation.rw_copiers > write_heavy.Ablation.rw_copiers)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_placement_tradeoff () =
+  let rows, _ = Ablation.coordinator_placement ~weights:[ 0.0; 1.0 ] () in
+  match rows with
+  | [ never; always ] ->
+    Alcotest.(check int) "no routing, no copiers" 0 never.Ablation.pl_copiers;
+    Alcotest.(check bool) "routing there recovers faster with more copiers" true
+      (always.Ablation.pl_txns_to_recover < never.Ablation.pl_txns_to_recover
+      && always.Ablation.pl_copiers > never.Ablation.pl_copiers)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_embed_clears_cheaper () =
+  let rows, _ = Ablation.embed_clears ~trials:40 () in
+  match rows with
+  | [ separate; embedded ] ->
+    Alcotest.(check bool) "embedding is cheaper" true
+      (embedded.Ablation.copier_txn_ms < separate.Ablation.copier_txn_ms);
+    Alcotest.(check int) "no special txns when embedded" 0 embedded.Ablation.specials_sent
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_protocol_availability_order () =
+  let rows, _ = Ablation.protocol_availability ~txns:120 () in
+  match rows with
+  | [ rowaa; strict; quorum ] ->
+    Alcotest.(check int) "ROWAA never aborts here" 0 rowaa.Ablation.aborted;
+    Alcotest.(check bool) "strict ROWA aborts writes during the outage" true
+      (strict.Ablation.aborted > 30);
+    Alcotest.(check int) "majority quorum survives one failure" 0 quorum.Ablation.aborted;
+    Alcotest.(check bool) "ROWAA messages exceed quorum's" true
+      (rowaa.Ablation.messages > quorum.Ablation.messages)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_control3_reduces_aborts () =
+  let rows, _ = Ablation.partial_replication () in
+  match rows with
+  | [ plain; spawning ] ->
+    Alcotest.(check bool) "backups reduce aborts" true
+      (spawning.Ablation.pr_aborted < plain.Ablation.pr_aborted);
+    Alcotest.(check bool) "backups were spawned" true (spawning.Ablation.backups_spawned > 0);
+    Alcotest.(check int) "none without the feature" 0 plain.Ablation.backups_spawned
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_latency_scaling_linear () =
+  let rows, _ = Ablation.communication_delays ~latencies_ms:[ 10.0; 60.0 ] () in
+  match rows with
+  | [ fast; slow ] ->
+    (* Four message hops on the commit path, two on control-1. *)
+    Alcotest.check (Alcotest.float 2.0) "txn slope = 4 hops" (4.0 *. 50.0)
+      (slow.Ablation.lat_txn_ms -. fast.Ablation.lat_txn_ms);
+    Alcotest.check (Alcotest.float 2.0) "control-1 slope = 2 hops" (2.0 *. 50.0)
+      (slow.Ablation.lat_control1_ms -. fast.Ablation.lat_control1_ms)
+  | _ -> Alcotest.fail "unexpected row count"
+
+let test_benchmark_workloads_all_recover () =
+  let rows, _ = Ablation.benchmark_workloads () in
+  Alcotest.(check int) "three workloads" 3 (List.length rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check int)
+        (row.Ablation.workload_label ^ ": no aborts")
+        0 row.Ablation.wl_aborted;
+      Alcotest.(check bool)
+        (row.Ablation.workload_label ^ ": recovered")
+        true
+        (row.Ablation.wl_txns_to_recover > 0))
+    rows
+
+let test_concurrency_sweep_speedup () =
+  let rows = Concurrent.sweep ~levels:[ 1; 8 ] ~txns:100 () in
+  match rows with
+  | [ serial; parallel ] ->
+    Alcotest.(check bool) "speedup > 2x at level 8" true (parallel.Concurrent.speedup > 2.0);
+    Alcotest.check (Alcotest.float 0.001) "serial is the baseline" 1.0 serial.Concurrent.speedup
+  | _ -> Alcotest.fail "unexpected row count"
+
+let suite =
+  [
+    Alcotest.test_case "A1 two-step speeds recovery" `Slow test_two_step_speeds_recovery;
+    Alcotest.test_case "A2 read/write ratio directions" `Slow test_rw_ratio_directions;
+    Alcotest.test_case "A3 placement trade-off" `Slow test_placement_tradeoff;
+    Alcotest.test_case "A4 embedding is cheaper" `Slow test_embed_clears_cheaper;
+    Alcotest.test_case "A5 availability ordering" `Slow test_protocol_availability_order;
+    Alcotest.test_case "A6 control-3 reduces aborts" `Slow test_control3_reduces_aborts;
+    Alcotest.test_case "A8 latency scaling is linear" `Slow test_latency_scaling_linear;
+    Alcotest.test_case "A9 all workloads recover" `Slow test_benchmark_workloads_all_recover;
+    Alcotest.test_case "A7 concurrency speedup" `Slow test_concurrency_sweep_speedup;
+  ]

@@ -1,0 +1,120 @@
+module Bitset = Raid_util.Bitset
+
+let test_empty () =
+  let b = Bitset.create 10 in
+  Alcotest.(check int) "capacity" 10 (Bitset.capacity b);
+  Alcotest.(check bool) "is_empty" true (Bitset.is_empty b);
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal b);
+  Alcotest.(check (list int)) "to_list" [] (Bitset.to_list b)
+
+let test_set_clear_mem () =
+  let b = Bitset.create 16 in
+  Bitset.set b 0;
+  Bitset.set b 7;
+  Bitset.set b 15;
+  Alcotest.(check bool) "mem 0" true (Bitset.mem b 0);
+  Alcotest.(check bool) "mem 7" true (Bitset.mem b 7);
+  Alcotest.(check bool) "mem 8" false (Bitset.mem b 8);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal b);
+  Bitset.clear b 7;
+  Alcotest.(check bool) "cleared" false (Bitset.mem b 7);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 15 ] (Bitset.to_list b)
+
+let test_set_idempotent () =
+  let b = Bitset.create 8 in
+  Bitset.set b 3;
+  Bitset.set b 3;
+  Alcotest.(check int) "still one" 1 (Bitset.cardinal b)
+
+let test_bounds () =
+  let b = Bitset.create 8 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set b (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.mem b 8))
+
+let test_zero_capacity () =
+  let b = Bitset.create 0 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty b)
+
+let test_assign () =
+  let b = Bitset.create 4 in
+  Bitset.assign b 2 true;
+  Alcotest.(check bool) "assigned true" true (Bitset.mem b 2);
+  Bitset.assign b 2 false;
+  Alcotest.(check bool) "assigned false" false (Bitset.mem b 2)
+
+let test_copy_independent () =
+  let a = Bitset.create 8 in
+  Bitset.set a 1;
+  let b = Bitset.copy a in
+  Bitset.set b 2;
+  Alcotest.(check bool) "original unchanged" false (Bitset.mem a 2);
+  Alcotest.(check bool) "copy has original" true (Bitset.mem b 1)
+
+let test_union_into () =
+  let a = Bitset.of_list 8 [ 1; 3 ] and b = Bitset.of_list 8 [ 3; 5 ] in
+  Bitset.union_into ~dst:a b;
+  Alcotest.(check (list int)) "union" [ 1; 3; 5 ] (Bitset.to_list a);
+  let c = Bitset.create 9 in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset.union_into: capacity mismatch") (fun () ->
+      Bitset.union_into ~dst:a c)
+
+let test_clear_all () =
+  let b = Bitset.of_list 12 [ 0; 5; 11 ] in
+  Bitset.clear_all b;
+  Alcotest.(check bool) "empty after clear_all" true (Bitset.is_empty b)
+
+let test_equal () =
+  Alcotest.(check bool) "equal" true (Bitset.equal (Bitset.of_list 8 [ 1 ]) (Bitset.of_list 8 [ 1 ]));
+  Alcotest.(check bool) "different members" false
+    (Bitset.equal (Bitset.of_list 8 [ 1 ]) (Bitset.of_list 8 [ 2 ]));
+  Alcotest.(check bool) "different capacity" false
+    (Bitset.equal (Bitset.create 8) (Bitset.create 9))
+
+let test_fold_iter () =
+  let b = Bitset.of_list 64 [ 0; 31; 32; 63 ] in
+  Alcotest.(check int) "fold sum" 126 (Bitset.fold ( + ) b 0);
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "iter order" [ 63; 32; 31; 0 ] !seen
+
+(* Model-based property: a bitset behaves like a set of ints. *)
+let prop_model =
+  let gen = QCheck.(list (pair (int_range 0 63) bool)) in
+  QCheck.Test.make ~name:"bitset matches set model" ~count:300 gen (fun operations ->
+      let b = Bitset.create 64 in
+      let module IntSet = Set.Make (Int) in
+      let model =
+        List.fold_left
+          (fun model (i, add) ->
+            if add then begin
+              Bitset.set b i;
+              IntSet.add i model
+            end
+            else begin
+              Bitset.clear b i;
+              IntSet.remove i model
+            end)
+          IntSet.empty operations
+      in
+      Bitset.to_list b = IntSet.elements model
+      && Bitset.cardinal b = IntSet.cardinal model
+      && Bitset.is_empty b = IntSet.is_empty model)
+
+let suite =
+  [
+    Alcotest.test_case "empty set" `Quick test_empty;
+    Alcotest.test_case "set/clear/mem" `Quick test_set_clear_mem;
+    Alcotest.test_case "set idempotent" `Quick test_set_idempotent;
+    Alcotest.test_case "bounds checked" `Quick test_bounds;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "assign" `Quick test_assign;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "union_into" `Quick test_union_into;
+    Alcotest.test_case "clear_all" `Quick test_clear_all;
+    Alcotest.test_case "equal" `Quick test_equal;
+    Alcotest.test_case "fold and iter" `Quick test_fold_iter;
+    QCheck_alcotest.to_alcotest prop_model;
+  ]

@@ -1,0 +1,90 @@
+(* Tests for the interactive managing-site console's command interpreter. *)
+
+module Console = Raid_sim.Console
+module Cluster = Raid_core.Cluster
+
+let run_commands ?(sites = 3) ?(items = 10) commands =
+  let console = Console.create ~sites ~items () in
+  let output = Buffer.create 256 in
+  let print line =
+    Buffer.add_string output line;
+    Buffer.add_char output '\n'
+  in
+  let quit =
+    List.exists
+      (fun line -> Console.command console ~print line = `Quit)
+      commands
+  in
+  (console, Buffer.contents output, quit)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec loop i = i + nl <= hl && (String.sub haystack i nl = needle || loop (i + 1)) in
+  loop 0
+
+let test_txn_and_status () =
+  let _, output, _ = run_commands [ "txn 0 w3 r3"; "status" ] in
+  Alcotest.(check bool) "commit reported" true (contains output "T1 committed");
+  Alcotest.(check bool) "status table" true (contains output "fully consistent: true")
+
+let test_fail_recover_cycle () =
+  let console, output, _ =
+    run_commands [ "fail 2"; "txn 0 w5"; "faillocks 2"; "recover 2"; "txn 2 r5"; "check" ]
+  in
+  Alcotest.(check bool) "failure reported" true (contains output "site 2 failed");
+  Alcotest.(check bool) "lock listed" true (contains output "items fail-locked for site 2: 5");
+  Alcotest.(check bool) "recovery reported" true (contains output "site 2 recovered");
+  Alcotest.(check bool) "copier ran" true (contains output "copiers: 1");
+  Alcotest.(check bool) "invariants" true (contains output "all invariants hold");
+  Alcotest.(check bool) "consistent" true (Cluster.fully_consistent (Console.cluster console))
+
+let test_terminate () =
+  let _, output, _ = run_commands [ "terminate 1"; "txn 0 w2" ] in
+  Alcotest.(check bool) "graceful" true (contains output "site 1 terminated gracefully");
+  Alcotest.(check bool) "still working" true (contains output "T1 committed")
+
+let test_auto_counts () =
+  let console, output, _ = run_commands [ "auto 5" ] in
+  Alcotest.(check int) "five outcomes" 5
+    (List.length (Cluster.outcomes (Console.cluster console)));
+  Alcotest.(check bool) "reported" true (contains output "T5")
+
+let test_db_inspection () =
+  let _, output, _ = run_commands [ "txn 0 w3"; "db 1 3" ] in
+  Alcotest.(check bool) "copy shown" true (contains output "item 3: value=1 version=1")
+
+let test_trace_and_metrics () =
+  let _, output, _ = run_commands [ "txn 0 w1"; "trace 3"; "metrics" ] in
+  Alcotest.(check bool) "trace lines" true (contains output "commit_ack");
+  Alcotest.(check bool) "counters" true (contains output "txns_committed")
+
+let test_bad_input_is_safe () =
+  let _, output, quit =
+    run_commands [ "txn"; "txn x w1"; "txn 0 z9"; "fail nine"; "frobnicate"; "recover 0" ]
+  in
+  Alcotest.(check bool) "usage hints" true (contains output "usage: txn <site> <rN|wN>...");
+  Alcotest.(check bool) "unknown hint" true (contains output "unknown command");
+  (* recover of an up site raises Invalid_argument; must be caught. *)
+  Alcotest.(check bool) "error caught" true (contains output "error:");
+  Alcotest.(check bool) "no quit" false quit
+
+let test_quit () =
+  let _, _, quit = run_commands [ "status"; "quit" ] in
+  Alcotest.(check bool) "quit" true quit
+
+let test_help () =
+  let _, output, _ = run_commands [ "help" ] in
+  Alcotest.(check bool) "lists commands" true (contains output "faillocks <site>")
+
+let suite =
+  [
+    Alcotest.test_case "txn and status" `Quick test_txn_and_status;
+    Alcotest.test_case "fail/recover cycle" `Quick test_fail_recover_cycle;
+    Alcotest.test_case "terminate" `Quick test_terminate;
+    Alcotest.test_case "auto" `Quick test_auto_counts;
+    Alcotest.test_case "db inspection" `Quick test_db_inspection;
+    Alcotest.test_case "trace and metrics" `Quick test_trace_and_metrics;
+    Alcotest.test_case "bad input is safe" `Quick test_bad_input_is_safe;
+    Alcotest.test_case "quit" `Quick test_quit;
+    Alcotest.test_case "help" `Quick test_help;
+  ]

@@ -1,0 +1,227 @@
+(* Tests for the stable-storage extension: WAL mechanics, crash-wipe and
+   replay at recovery, checkpoint compaction, durable session numbers. *)
+
+module Wal = Raid_storage.Wal
+module Database = Raid_storage.Database
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Cost_model = Raid_core.Cost_model
+module Txn = Raid_core.Txn
+module Site = Raid_core.Site
+module Invariant = Raid_core.Invariant
+
+let write ~item ~value ~version = { Database.item; value; version }
+
+(* {2 Wal unit tests} *)
+
+let test_wal_initial () =
+  let wal = Wal.create ~num_items:4 () in
+  Alcotest.(check int) "empty log" 0 (Wal.log_length wal);
+  Alcotest.(check int) "session 1" 1 (Wal.session wal);
+  let db = Database.create ~num_items:4 in
+  Database.apply db (write ~item:0 ~value:9 ~version:9);
+  Alcotest.(check int) "replay of empty store" 0 (Wal.replay_into wal db);
+  (* Replay resets to the initial checkpoint. *)
+  Alcotest.(check (option (pair int int))) "reset to initial" (Some (0, 0)) (Database.read db 0)
+
+let test_wal_replay () =
+  let wal = Wal.create ~num_items:4 () in
+  Wal.append wal { Wal.txn = 1; write = write ~item:2 ~value:5 ~version:1 };
+  Wal.append wal { Wal.txn = 2; write = write ~item:2 ~value:7 ~version:2 };
+  Wal.append wal { Wal.txn = 3; write = write ~item:0 ~value:1 ~version:3 };
+  let db = Database.create ~num_items:4 in
+  Alcotest.(check int) "three replayed" 3 (Wal.replay_into wal db);
+  Alcotest.(check (option (pair int int))) "last write wins" (Some (7, 2)) (Database.read db 2);
+  Alcotest.(check (option (pair int int))) "other item" (Some (1, 3)) (Database.read db 0)
+
+let test_wal_checkpoint_truncates () =
+  let wal = Wal.create ~checkpoint_interval:3 ~num_items:2 () in
+  let db = Database.create ~num_items:2 in
+  let apply_and_log txn item =
+    let w = write ~item ~value:txn ~version:txn in
+    Database.apply db w;
+    Wal.append wal { Wal.txn; write = w };
+    ignore (Wal.maybe_checkpoint wal db)
+  in
+  apply_and_log 1 0;
+  apply_and_log 2 1;
+  Alcotest.(check int) "no checkpoint yet" 0 (Wal.checkpoints_taken wal);
+  apply_and_log 3 0;
+  Alcotest.(check int) "checkpointed" 1 (Wal.checkpoints_taken wal);
+  Alcotest.(check int) "log truncated" 0 (Wal.log_length wal);
+  (* Replay from checkpoint only still reproduces the state. *)
+  let fresh = Database.create ~num_items:2 in
+  ignore (Wal.replay_into wal fresh);
+  Alcotest.(check bool) "checkpoint state equals db" true (Database.equal fresh db)
+
+let test_wal_session_monotone () =
+  let wal = Wal.create ~num_items:1 () in
+  Wal.record_session wal 2;
+  Alcotest.(check int) "recorded" 2 (Wal.session wal);
+  Alcotest.check_raises "no regression"
+    (Invalid_argument "Wal.record_session: session numbers must increase") (fun () ->
+      Wal.record_session wal 2)
+
+let test_wal_validation () =
+  Alcotest.check_raises "bad interval"
+    (Invalid_argument "Wal.create: non-positive checkpoint interval") (fun () ->
+      ignore (Wal.create ~checkpoint_interval:0 ~num_items:1 ()));
+  let wal = Wal.create ~num_items:2 () in
+  let db = Database.create ~num_items:3 in
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Wal.replay_into: database shape mismatch")
+    (fun () -> ignore (Wal.replay_into wal db))
+
+(* {2 Site-level durability} *)
+
+let durable_config ?(checkpoint_interval = 5) () =
+  Config.make ~cost:Cost_model.free
+    ~durability:(Config.Durable_wal { checkpoint_interval })
+    ~num_sites:3 ~num_items:8 ()
+
+let test_crash_wipes_then_replay_restores () =
+  let cluster = Cluster.create (durable_config ()) in
+  List.iter
+    (fun item ->
+      let id = Cluster.next_txn_id cluster in
+      ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write item ])))
+    [ 0; 3; 5; 3 ];
+  let before = Database.snapshot (Site.database (Cluster.site cluster 1)) in
+  Cluster.fail_site cluster 1;
+  (* The crash wiped the volatile database for real. *)
+  Alcotest.(check (option (pair int int))) "wiped" (Some (0, 0))
+    (Database.read (Site.database (Cluster.site cluster 1)) 3);
+  (match Cluster.recover_site cluster 1 with
+  | `Recovered -> ()
+  | `Blocked -> Alcotest.fail "blocked");
+  let after = Database.snapshot (Site.database (Cluster.site cluster 1)) in
+  Alcotest.(check (array (option (pair int int)))) "replay restored everything" before after;
+  (match Invariant.all cluster with Ok () -> () | Error m -> Alcotest.fail m)
+
+let test_replay_then_copiers_catch_up () =
+  (* Updates committed while the site was down are NOT in its log; they
+     must come back through fail-locks and copiers, not replay. *)
+  let cluster = Cluster.create (durable_config ()) in
+  let id = Cluster.next_txn_id cluster in
+  ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 2 ]));
+  Cluster.fail_site cluster 1;
+  let id = Cluster.next_txn_id cluster in
+  ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 2 ]));
+  ignore (Cluster.recover_site cluster 1);
+  (* Replay restored the pre-crash version (1), and the fail-lock marks
+     the missed version (2). *)
+  Alcotest.(check (option (pair int int))) "pre-crash version" (Some (1, 1))
+    (Database.read (Site.database (Cluster.site cluster 1)) 2);
+  Alcotest.(check (list int)) "fail-locked" [ 2 ] (Site.locked_items (Cluster.site cluster 1));
+  let id = Cluster.next_txn_id cluster in
+  let outcome = Cluster.submit cluster ~coordinator:1 (Txn.make ~id [ Txn.Read 2 ]) in
+  Alcotest.(check (list (triple int int int))) "copier caught up" [ (2, 2, 2) ]
+    outcome.Raid_core.Metrics.reads;
+  Alcotest.(check bool) "consistent" true (Cluster.fully_consistent cluster)
+
+let test_durable_session_numbers () =
+  let cluster = Cluster.create (durable_config ()) in
+  Cluster.fail_site cluster 2;
+  ignore (Cluster.recover_site cluster 2);
+  Cluster.fail_site cluster 2;
+  ignore (Cluster.recover_site cluster 2);
+  Alcotest.(check int) "session 3 after two crashes" 3
+    (Site.session_number (Cluster.site cluster 2))
+
+let test_checkpoints_bound_replay () =
+  let cluster = Cluster.create (durable_config ~checkpoint_interval:4 ()) in
+  for _ = 1 to 30 do
+    let id = Cluster.next_txn_id cluster in
+    ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write (id mod 8) ]))
+  done;
+  Cluster.fail_site cluster 1;
+  ignore (Cluster.recover_site cluster 1);
+  Alcotest.(check bool) "consistent after checkpointed replay" true
+    (Cluster.fully_consistent cluster)
+
+let test_backup_copy_is_durable () =
+  let placement =
+    [| [| true; true |]; [| true; false |]; [| false; true |] |]
+  in
+  let config =
+    Config.make ~cost:Cost_model.free ~spawn_backups:true
+      ~replication:(Config.Partial placement)
+      ~durability:(Config.Durable_wal { checkpoint_interval = 100 })
+      ~num_sites:3 ~num_items:2 ()
+  in
+  let cluster = Cluster.create config in
+  (* Item 1 is held by sites 0 and 2; fail 0 so a write leaves one holder
+     and spawns a backup on site 1. *)
+  Cluster.fail_site cluster 0;
+  let id = Cluster.next_txn_id cluster in
+  ignore (Cluster.submit cluster ~coordinator:2 (Txn.make ~id [ Txn.Write 1 ]));
+  Alcotest.(check bool) "backup at site 1" true (Site.stores (Cluster.site cluster 1) ~item:1);
+  (* Crash the backup holder: the backup must survive through its log. *)
+  Cluster.fail_site cluster 1;
+  ignore (Cluster.recover_site cluster 1);
+  Alcotest.(check (option (pair int int))) "backup replayed" (Some (id, id))
+    (Database.read (Site.database (Cluster.site cluster 1)) 1)
+
+let test_mid_protocol_crash_with_wal () =
+  (* A participant dies between its phase-1 ack and the commit message,
+     with durability on: its volatile database is wiped, the write it
+     never received is fail-locked on its behalf, and recovery = replay
+     (its own history) + copier (the missed write). *)
+  let module Engine = Raid_net.Engine in
+  let module Message = Raid_core.Message in
+  let config =
+    Config.make ~cost:Cost_model.free
+      ~durability:(Config.Durable_wal { checkpoint_interval = 4 })
+      ~num_sites:3 ~num_items:8 ()
+  in
+  let cluster = Cluster.create ~detection:Cluster.On_timeout ~trace:true config in
+  (* Seed history so the crashed site has something to replay. *)
+  let id = Cluster.next_txn_id cluster in
+  ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 7 ]));
+  let engine = Cluster.engine cluster in
+  let id = Cluster.next_txn_id cluster in
+  Engine.inject engine ~dst:0 (Message.Begin_txn (Txn.make ~id [ Txn.Write 2 ]));
+  let acks () =
+    List.length
+      (List.filter
+         (fun e ->
+           e.Engine.trace_outcome = Engine.Delivered
+           && (match e.Engine.trace_payload with
+              | Message.Prepare_ack { txn } -> txn = id && e.Engine.trace_dst = 0
+              | _ -> false))
+         (Engine.trace engine))
+  in
+  while acks () < 2 do
+    if not (Engine.step engine) then Alcotest.fail "quiescent too early"
+  done;
+  Engine.set_alive engine 1 false;
+  Site.on_crash (Cluster.site cluster 1);
+  Engine.run engine;
+  (* The commit completed without site 1 and fail-locked the write. *)
+  Alcotest.(check (list int)) "missed write fail-locked" [ 2 ] (Cluster.faillocks_for cluster 1);
+  (match Cluster.recover_site cluster 1 with
+  | `Recovered -> ()
+  | `Blocked -> Alcotest.fail "blocked");
+  (* Replay restored the pre-crash write; the missed one arrives by copier. *)
+  Alcotest.(check (option (pair int int))) "replayed history" (Some (1, 1))
+    (Database.read (Site.database (Cluster.site cluster 1)) 7);
+  let id = Cluster.next_txn_id cluster in
+  let outcome = Cluster.submit cluster ~coordinator:1 (Txn.make ~id [ Txn.Read 2 ]) in
+  Alcotest.(check bool) "copier caught it up" true
+    (outcome.Raid_core.Metrics.copier_requests = 1 && outcome.Raid_core.Metrics.committed);
+  Alcotest.(check bool) "consistent" true (Cluster.fully_consistent cluster);
+  match Invariant.all cluster with Ok () -> () | Error m -> Alcotest.fail m
+
+let suite =
+  [
+    Alcotest.test_case "wal initial state" `Quick test_wal_initial;
+    Alcotest.test_case "mid-protocol crash with WAL" `Quick test_mid_protocol_crash_with_wal;
+    Alcotest.test_case "wal replay order" `Quick test_wal_replay;
+    Alcotest.test_case "wal checkpoint truncates" `Quick test_wal_checkpoint_truncates;
+    Alcotest.test_case "wal session monotone" `Quick test_wal_session_monotone;
+    Alcotest.test_case "wal validation" `Quick test_wal_validation;
+    Alcotest.test_case "crash wipes, replay restores" `Quick test_crash_wipes_then_replay_restores;
+    Alcotest.test_case "missed updates come via copiers" `Quick test_replay_then_copiers_catch_up;
+    Alcotest.test_case "session numbers durable" `Quick test_durable_session_numbers;
+    Alcotest.test_case "checkpoints bound replay" `Quick test_checkpoints_bound_replay;
+    Alcotest.test_case "control-3 backups durable" `Quick test_backup_copy_is_durable;
+  ]

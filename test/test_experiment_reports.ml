@@ -1,0 +1,100 @@
+(* Structural tests for the experiment reports and remaining runner
+   policies: row shapes, sample counts, weighted-policy renormalisation,
+   cluster-size scaling directions. *)
+
+module Experiment1 = Raid_sim.Experiment1
+module Scenario = Raid_sim.Scenario
+module Runner = Raid_sim.Runner
+module Scaling = Raid_sim.Scaling
+module Config = Raid_core.Config
+module Cost_model = Raid_core.Cost_model
+module Workload = Raid_core.Workload
+module Metrics = Raid_core.Metrics
+
+let test_exp1_report_shapes () =
+  (* Small parameters keep this quick; shapes must still be right. *)
+  let report = Experiment1.faillock_overhead ~txns:40 () in
+  Alcotest.(check int) "four rows" 4 (List.length report.Experiment1.rows);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (row.Experiment1.label ^ " has samples")
+        true (row.Experiment1.samples > 0);
+      Alcotest.(check bool)
+        (row.Experiment1.label ^ " measured positive")
+        true
+        (row.Experiment1.measured_ms > 0.0))
+    report.Experiment1.rows;
+  (* Fail-lock maintenance must cost more than its absence. *)
+  (match report.Experiment1.rows with
+  | [ coord_without; coord_with; part_without; part_with ] ->
+    Alcotest.(check bool) "coordinator dearer with locks" true
+      (coord_with.Experiment1.measured_ms > coord_without.Experiment1.measured_ms);
+    Alcotest.(check bool) "participant dearer with locks" true
+      (part_with.Experiment1.measured_ms > part_without.Experiment1.measured_ms)
+  | _ -> Alcotest.fail "unexpected rows");
+  let table = Experiment1.to_table report in
+  Alcotest.(check bool) "renders" true (String.length (Raid_util.Table.render table) > 0)
+
+let test_exp1_copier_overhead_order () =
+  let report = Experiment1.copier_overhead ~trials:25 () in
+  match report.Experiment1.rows with
+  | [ baseline; with_copier; serve; clear ] ->
+    Alcotest.(check bool) "copier txn dearer than baseline" true
+      (with_copier.Experiment1.measured_ms > baseline.Experiment1.measured_ms);
+    Alcotest.(check bool) "service costs less than the txn" true
+      (serve.Experiment1.measured_ms < with_copier.Experiment1.measured_ms);
+    Alcotest.(check bool) "clear is the cheapest" true
+      (clear.Experiment1.measured_ms < serve.Experiment1.measured_ms +. 1.0)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let test_weighted_policy_renormalises () =
+  (* Weights listing a down site must renormalise to the operational
+     subset rather than fail. *)
+  let config = Config.make ~cost:Cost_model.free ~num_sites:3 ~num_items:6 () in
+  let scenario =
+    Scenario.make
+      ~policy:(Scenario.Weighted [ (0, 0.5); (1, 0.25); (2, 0.25) ])
+      ~config
+      ~workload:(Workload.Uniform { max_ops = 2; write_prob = 0.5 })
+      [ Scenario.Fail 0; Scenario.Run_txns 10 ]
+  in
+  let result = Runner.run scenario in
+  Alcotest.(check int) "all ran" 10 (List.length result.Runner.records);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "never the dead site" true
+        (r.Runner.outcome.Metrics.coordinator <> 0))
+    result.Runner.records
+
+let test_weighted_policy_all_zero_falls_back () =
+  let config = Config.make ~cost:Cost_model.free ~num_sites:2 ~num_items:4 () in
+  let scenario =
+    Scenario.make
+      ~policy:(Scenario.Weighted [ (0, 0.0); (1, 0.0) ])
+      ~config
+      ~workload:(Workload.Uniform { max_ops = 2; write_prob = 0.5 })
+      [ Scenario.Run_txns 5 ]
+  in
+  let result = Runner.run scenario in
+  Alcotest.(check int) "falls back to uniform" 5 (List.length result.Runner.records)
+
+let test_cluster_size_scaling () =
+  let rows = Scaling.recovery_vs_cluster_size ~site_counts:[ 2; 8 ] () in
+  match rows with
+  | [ two; eight ] ->
+    (* The peak only counts site 0's stale copies; it is driven by the
+       write pattern, not the cluster size. *)
+    Alcotest.(check bool) "both peaks high" true (two.Scaling.cs_peak > 40 && eight.Scaling.cs_peak > 40);
+    Alcotest.(check bool) "both recover" true
+      (two.Scaling.cs_recovery_txns > 0 && eight.Scaling.cs_recovery_txns > 0)
+  | _ -> Alcotest.fail "unexpected rows"
+
+let suite =
+  [
+    Alcotest.test_case "experiment 1 report shapes" `Slow test_exp1_report_shapes;
+    Alcotest.test_case "copier overhead ordering" `Slow test_exp1_copier_overhead_order;
+    Alcotest.test_case "weighted policy renormalises" `Quick test_weighted_policy_renormalises;
+    Alcotest.test_case "all-zero weights fall back" `Quick test_weighted_policy_all_zero_falls_back;
+    Alcotest.test_case "cluster-size scaling" `Slow test_cluster_size_scaling;
+  ]

@@ -1,0 +1,101 @@
+module Faillock = Raid_core.Faillock
+
+let table () = Faillock.create ~num_items:5 ~num_sites:3
+
+let test_initial () =
+  let t = table () in
+  Alcotest.(check int) "num_items" 5 (Faillock.num_items t);
+  Alcotest.(check int) "num_sites" 3 (Faillock.num_sites t);
+  Alcotest.(check int) "nothing locked" 0 (Faillock.total_locked t);
+  Alcotest.(check bool) "not locked" false (Faillock.is_locked t ~item:0 ~site:0)
+
+let test_set_clear_transitions () =
+  let t = table () in
+  Alcotest.(check bool) "fresh set" true (Faillock.set t ~item:2 ~site:1);
+  Alcotest.(check bool) "redundant set" false (Faillock.set t ~item:2 ~site:1);
+  Alcotest.(check bool) "locked" true (Faillock.is_locked t ~item:2 ~site:1);
+  Alcotest.(check bool) "clear transition" true (Faillock.clear t ~item:2 ~site:1);
+  Alcotest.(check bool) "redundant clear" false (Faillock.clear t ~item:2 ~site:1)
+
+let test_commit_update () =
+  let t = table () in
+  (* Site 2 is down: committing item 3 sets its bit, clears others. *)
+  ignore (Faillock.set t ~item:3 ~site:0);
+  let set_count = ref 0 and cleared = ref 0 in
+  Faillock.commit_update t ~item:3 ~site_up:(fun s -> s <> 2) ~set:set_count ~cleared;
+  Alcotest.(check int) "one set" 1 !set_count;
+  Alcotest.(check int) "one cleared" 1 !cleared;
+  Alcotest.(check bool) "bit for down site" true (Faillock.is_locked t ~item:3 ~site:2);
+  Alcotest.(check bool) "bit for up site cleared" false (Faillock.is_locked t ~item:3 ~site:0);
+  (* Re-running is idempotent (the paper's unconditional re-clear). *)
+  let set2 = ref 0 and cleared2 = ref 0 in
+  Faillock.commit_update t ~item:3 ~site_up:(fun s -> s <> 2) ~set:set2 ~cleared:cleared2;
+  Alcotest.(check int) "no new sets" 0 !set2;
+  Alcotest.(check int) "no new clears" 0 !cleared2
+
+let test_locked_items_and_counts () =
+  let t = table () in
+  ignore (Faillock.set t ~item:0 ~site:1);
+  ignore (Faillock.set t ~item:4 ~site:1);
+  ignore (Faillock.set t ~item:2 ~site:0);
+  Alcotest.(check (list int)) "items for site 1" [ 0; 4 ] (Faillock.locked_items_for t ~site:1);
+  Alcotest.(check int) "count for site 1" 2 (Faillock.count_for t ~site:1);
+  Alcotest.(check (list int)) "sites for item 0" [ 1 ] (Faillock.locked_sites t ~item:0);
+  Alcotest.(check bool) "any locked" true (Faillock.any_locked t ~item:2);
+  Alcotest.(check bool) "none locked" false (Faillock.any_locked t ~item:1);
+  Alcotest.(check int) "total" 3 (Faillock.total_locked t)
+
+let test_clear_sites () =
+  let t = table () in
+  ignore (Faillock.set t ~item:1 ~site:0);
+  ignore (Faillock.set t ~item:1 ~site:2);
+  Alcotest.(check int) "cleared two" 2 (Faillock.clear_sites t ~item:1 ~sites:[ 0; 1; 2 ]);
+  Alcotest.(check int) "cleared none" 0 (Faillock.clear_sites t ~item:1 ~sites:[ 0 ])
+
+let test_copy_install_merge () =
+  let a = table () in
+  ignore (Faillock.set a ~item:0 ~site:0);
+  let b = Faillock.copy a in
+  ignore (Faillock.set b ~item:1 ~site:1);
+  Alcotest.(check bool) "copy independent" false (Faillock.is_locked a ~item:1 ~site:1);
+  Faillock.install a ~from:b;
+  Alcotest.(check bool) "install equal" true (Faillock.equal a b);
+  let c = table () in
+  ignore (Faillock.set c ~item:4 ~site:2);
+  Faillock.merge a ~from:c;
+  Alcotest.(check bool) "merge keeps old" true (Faillock.is_locked a ~item:0 ~site:0);
+  Alcotest.(check bool) "merge adds new" true (Faillock.is_locked a ~item:4 ~site:2);
+  let wrong = Faillock.create ~num_items:2 ~num_sites:3 in
+  Alcotest.check_raises "shape mismatch" (Invalid_argument "Faillock: shape mismatch") (fun () ->
+      Faillock.install a ~from:wrong)
+
+let test_bounds () =
+  let t = table () in
+  Alcotest.check_raises "item range" (Invalid_argument "Faillock: item out of range") (fun () ->
+      ignore (Faillock.is_locked t ~item:5 ~site:0))
+
+(* Property: commit_update leaves exactly the down sites locked. *)
+let prop_commit_update_postcondition =
+  QCheck.Test.make ~name:"commit_update postcondition" ~count:300
+    QCheck.(pair (list (pair (int_range 0 4) (int_range 0 2))) (int_range 0 7))
+    (fun (initial, up_mask) ->
+      let t = table () in
+      List.iter (fun (item, site) -> ignore (Faillock.set t ~item ~site)) initial;
+      let site_up s = (up_mask lsr s) land 1 = 1 in
+      let set_count = ref 0 and cleared = ref 0 in
+      Faillock.commit_update t ~item:2 ~site_up ~set:set_count ~cleared;
+      List.for_all
+        (fun s -> Faillock.is_locked t ~item:2 ~site:s = not (site_up s))
+        [ 0; 1; 2 ])
+
+let suite =
+  [
+    Alcotest.test_case "initial table" `Quick test_initial;
+    Alcotest.test_case "set/clear transitions" `Quick test_set_clear_transitions;
+    Alcotest.test_case "commit_update semantics" `Quick test_commit_update;
+    Alcotest.test_case "locked items and counts" `Quick test_locked_items_and_counts;
+    Alcotest.test_case "clear_sites" `Quick test_clear_sites;
+    Alcotest.test_case "copy/install/merge" `Quick test_copy_install_merge;
+    Alcotest.test_case "bounds checked" `Quick test_bounds;
+    QCheck_alcotest.to_alcotest prop_commit_update_postcondition;
+  ]

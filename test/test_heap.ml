@@ -1,0 +1,49 @@
+module Heap = Raid_net.Heap
+
+let drain heap =
+  let rec loop acc = match Heap.pop heap with None -> List.rev acc | Some x -> loop (x :: acc) in
+  loop []
+
+let test_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h)
+
+let test_ordering () =
+  let h = Heap.create ~cmp:Int.compare in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check int) "size" 8 (Heap.size h);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Heap.peek h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 4; 5; 5; 6; 9 ] (drain h)
+
+let test_interleaved () =
+  let h = Heap.create ~cmp:Int.compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "pop 0" (Some 0) (Heap.pop h);
+  Alcotest.(check (list int)) "rest" [ 2; 3 ] (drain h)
+
+let test_custom_comparison () =
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  Heap.push h (2, "b");
+  Heap.push h (1, "a");
+  Alcotest.(check (option (pair int string))) "min by key" (Some (1, "a")) (Heap.pop h)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:300 QCheck.(list int) (fun items ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) items;
+      drain h = List.sort Int.compare items)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "custom comparison" `Quick test_custom_comparison;
+    QCheck_alcotest.to_alcotest prop_sorted;
+  ]

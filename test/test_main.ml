@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "raid"
+    [
+      ("rng", Test_rng.suite);
+      ("bitset", Test_bitset.suite);
+      ("stats", Test_stats.suite);
+      ("vtime", Test_vtime.suite);
+      ("heap", Test_heap.suite);
+      ("engine", Test_engine.suite);
+      ("engine-props", Test_engine_props.suite);
+      ("storage", Test_storage.suite);
+      ("session", Test_session.suite);
+      ("faillock", Test_faillock.suite);
+      ("txn", Test_txn.suite);
+      ("workload", Test_workload.suite);
+      ("cost-model", Test_cost_model.suite);
+      ("render", Test_render.suite);
+      ("protocol", Test_protocol.suite);
+      ("recovery", Test_recovery.suite);
+      ("durability", Test_durability.suite);
+      ("baselines", Test_baselines.suite);
+      ("invariants", Test_invariants.suite);
+      ("concurrency", Test_concurrency.suite);
+      ("partition", Test_partition.suite);
+      ("termination", Test_termination.suite);
+      ("sim", Test_sim.suite);
+      ("analysis", Test_analysis.suite);
+      ("timeline", Test_timeline.suite);
+      ("misc", Test_misc.suite);
+      ("experiment-reports", Test_experiment_reports.suite);
+      ("ablations", Test_ablations.suite);
+      ("console", Test_console.suite);
+      ("soak", Test_soak.suite);
+    ]

@@ -1,0 +1,65 @@
+module Session = Raid_core.Session
+
+let test_initial () =
+  let v = Session.create ~num_sites:3 in
+  Alcotest.(check int) "num_sites" 3 (Session.num_sites v);
+  for s = 0 to 2 do
+    Alcotest.(check int) "session 1" 1 (Session.session v s);
+    Alcotest.(check bool) "up" true (Session.is_up v s)
+  done;
+  Alcotest.(check (list int)) "all operational" [ 0; 1; 2 ] (Session.operational v)
+
+let test_transitions () =
+  let v = Session.create ~num_sites:3 in
+  Session.mark_down v 1;
+  Alcotest.(check bool) "down" false (Session.is_up v 1);
+  Alcotest.(check int) "session kept" 1 (Session.session v 1);
+  Alcotest.(check (list int)) "operational" [ 0; 2 ] (Session.operational v);
+  Session.mark_waiting v 1 ~session:2;
+  Alcotest.(check bool) "waiting not up" false (Session.is_up v 1);
+  Alcotest.(check int) "new session" 2 (Session.session v 1);
+  Session.mark_up v 1 ~session:2;
+  Alcotest.(check bool) "up again" true (Session.is_up v 1)
+
+let test_operational_except () =
+  let v = Session.create ~num_sites:4 in
+  Session.mark_down v 2;
+  Alcotest.(check (list int)) "except self" [ 1; 3 ] (Session.operational_except v 0)
+
+let test_install_and_copy () =
+  let a = Session.create ~num_sites:2 in
+  let b = Session.copy a in
+  Session.mark_down b 0;
+  Alcotest.(check bool) "copy independent" true (Session.is_up a 0);
+  Session.install a ~from:b;
+  Alcotest.(check bool) "installed" false (Session.is_up a 0);
+  Alcotest.(check bool) "equal" true (Session.equal a b);
+  let c = Session.create ~num_sites:3 in
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Session.install: size mismatch")
+    (fun () -> Session.install a ~from:c)
+
+let test_merge_failure () =
+  let v = Session.create ~num_sites:4 in
+  Session.merge_failure v [ 1; 3 ];
+  Alcotest.(check (list int)) "survivors" [ 0; 2 ] (Session.operational v)
+
+let test_bounds () =
+  let v = Session.create ~num_sites:2 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Session: site out of range") (fun () ->
+      ignore (Session.session v 2))
+
+let test_pp () =
+  let v = Session.create ~num_sites:2 in
+  Session.mark_down v 1;
+  Alcotest.(check string) "render" "[0:1/up; 1:1/down]" (Format.asprintf "%a" Session.pp v)
+
+let suite =
+  [
+    Alcotest.test_case "initial vector" `Quick test_initial;
+    Alcotest.test_case "state transitions" `Quick test_transitions;
+    Alcotest.test_case "operational_except" `Quick test_operational_except;
+    Alcotest.test_case "install and copy" `Quick test_install_and_copy;
+    Alcotest.test_case "merge_failure" `Quick test_merge_failure;
+    Alcotest.test_case "bounds checked" `Quick test_bounds;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

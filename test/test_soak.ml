@@ -1,0 +1,100 @@
+(* Endurance ("soak") tests: larger clusters, every extension enabled at
+   once, long random schedules — the closest thing to running the full
+   system in production.  All invariants must hold throughout (the runner
+   checks after every action) and the cluster must converge at the end. *)
+
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Cost_model = Raid_core.Cost_model
+module Workload = Raid_core.Workload
+module Scenario = Raid_sim.Scenario
+module Runner = Raid_sim.Runner
+module Rng = Raid_util.Rng
+
+let churn_actions ~rng ~num_sites ~rounds =
+  (* Rolling churn: each round fails a random site, runs traffic, brings
+     it back, runs more traffic.  Never kills the last survivor. *)
+  List.concat_map
+    (fun _ ->
+      let victim = Rng.int rng num_sites in
+      [
+        Scenario.Fail victim;
+        Scenario.Run_txns (10 + Rng.int rng 20);
+        Scenario.Recover victim;
+        Scenario.Run_txns (10 + Rng.int rng 20);
+      ])
+    (List.init rounds Fun.id)
+
+let run_soak ~config ~seed ~rounds =
+  let rng = Rng.create (seed * 31) in
+  let actions =
+    churn_actions ~rng ~num_sites:config.Config.num_sites ~rounds
+    @ [ Scenario.Run_until_consistent { max_txns = 5000 } ]
+  in
+  let scenario =
+    Scenario.make ~seed ~config
+      ~workload:(Workload.Uniform { max_ops = 6; write_prob = 0.4 })
+      actions
+  in
+  (* check_invariants:true makes the runner verify the protocol
+     invariants after every single action. *)
+  Runner.run ~check_invariants:true scenario
+
+let test_eight_sites_everything_on () =
+  let config =
+    Config.make ~cost:Cost_model.free
+      ~recovery:(Config.Two_step { threshold = 0.4; batch_size = 10 })
+      ~durability:(Config.Durable_wal { checkpoint_interval = 32 })
+      ~embed_clears:true ~num_sites:8 ~num_items:120 ()
+  in
+  let result = run_soak ~config ~seed:101 ~rounds:12 in
+  Alcotest.(check bool) "converged" true (Cluster.fully_consistent result.Runner.cluster);
+  Alcotest.(check bool) "substantial traffic" true (result.Runner.committed > 200)
+
+let test_partial_replication_soak () =
+  let num_sites = 6 and num_items = 90 in
+  let placement =
+    Array.init num_sites (fun site ->
+        Array.init num_items (fun item ->
+            (* three copies per item *)
+            site = item mod num_sites
+            || site = (item + 1) mod num_sites
+            || site = (item + 2) mod num_sites))
+  in
+  let config =
+    Config.make ~cost:Cost_model.free
+      ~replication:(Config.Partial placement)
+      ~spawn_backups:true ~num_sites ~num_items ()
+  in
+  let result = run_soak ~config ~seed:202 ~rounds:10 in
+  (* With three copies and single-site churn, nothing should abort. *)
+  Alcotest.(check int) "no aborts" 0 result.Runner.aborted;
+  Alcotest.(check bool) "substantial traffic" true (result.Runner.committed > 200)
+
+let test_timeout_detection_soak () =
+  let config = Config.make ~cost:Cost_model.free ~num_sites:5 ~num_items:60 () in
+  let rng = Rng.create 99 in
+  let scenario =
+    Scenario.make ~detection:Raid_core.Cluster.On_timeout ~seed:303 ~config
+      ~workload:(Workload.Uniform { max_ops = 5; write_prob = 0.5 })
+      (churn_actions ~rng ~num_sites:5 ~rounds:10
+      @ [ Scenario.Run_until_consistent { max_txns = 5000 } ])
+  in
+  let result = Runner.run scenario in
+  Alcotest.(check bool) "converged" true (Cluster.fully_consistent result.Runner.cluster);
+  (* Undetected failures cost some aborts, but the system always recovers. *)
+  Alcotest.(check bool) "bounded aborts" true (result.Runner.aborted <= 12)
+
+let test_sixteen_site_scale () =
+  let config = Config.make ~cost:Cost_model.free ~num_sites:16 ~num_items:200 () in
+  let result = run_soak ~config ~seed:404 ~rounds:8 in
+  Alcotest.(check bool) "converged at 16 sites" true
+    (Cluster.fully_consistent result.Runner.cluster)
+
+let suite =
+  [
+    Alcotest.test_case "8 sites, every extension on" `Slow test_eight_sites_everything_on;
+    Alcotest.test_case "partial replication churn" `Slow test_partial_replication_soak;
+    Alcotest.test_case "timeout-detection churn" `Slow test_timeout_detection_soak;
+    Alcotest.test_case "16-site scale" `Slow test_sixteen_site_scale;
+  ]

@@ -1,0 +1,84 @@
+module Stats = Raid_util.Stats
+
+let feq = Alcotest.float 1e-9
+
+let test_mean () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "singleton" 5.0 (Stats.mean [ 5.0 ])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats: empty sample list") (fun () ->
+      ignore (Stats.mean []))
+
+let test_stddev () =
+  (* sample stddev of {1,3} is sqrt(2); of the classic 8-value set, ~2.138 *)
+  Alcotest.check feq "pair" (sqrt 2.0) (Stats.stddev [ 1.0; 3.0 ]);
+  Alcotest.check (Alcotest.float 1e-3) "eight values" 2.138
+    (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ]);
+  Alcotest.check feq "single sample" 0.0 (Stats.stddev [ 42.0 ])
+
+let test_percentile () =
+  let samples = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  Alcotest.check feq "p0" 1.0 (Stats.percentile 0.0 samples);
+  Alcotest.check feq "p50" 3.0 (Stats.percentile 0.5 samples);
+  Alcotest.check feq "p100" 5.0 (Stats.percentile 1.0 samples);
+  Alcotest.check feq "p25 interpolates" 2.0 (Stats.percentile 0.25 samples);
+  Alcotest.check feq "p125 between ranks" 1.5 (Stats.percentile 0.125 samples)
+
+let test_percentile_validation () =
+  Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p outside [0,1]")
+    (fun () -> ignore (Stats.percentile 1.5 [ 1.0 ]))
+
+let test_summarize () =
+  let s = Stats.summarize [ 4.0; 1.0; 3.0; 2.0 ] in
+  Alcotest.(check int) "count" 4 s.Stats.count;
+  Alcotest.check feq "mean" 2.5 s.Stats.mean;
+  Alcotest.check feq "min" 1.0 s.Stats.min;
+  Alcotest.check feq "max" 4.0 s.Stats.max;
+  Alcotest.check feq "median" 2.5 s.Stats.p50
+
+let test_accumulator_matches_batch () =
+  let samples = [ 3.0; 1.0; 4.0; 1.0; 5.0; 9.0; 2.0; 6.0 ] in
+  let acc = Stats.Accumulator.create () in
+  List.iter (Stats.Accumulator.add acc) samples;
+  Alcotest.(check int) "count" (List.length samples) (Stats.Accumulator.count acc);
+  Alcotest.check (Alcotest.float 1e-9) "mean" (Stats.mean samples) (Stats.Accumulator.mean acc);
+  Alcotest.check (Alcotest.float 1e-9) "stddev" (Stats.stddev samples)
+    (Stats.Accumulator.stddev acc)
+
+let test_accumulator_empty () =
+  let acc = Stats.Accumulator.create () in
+  Alcotest.check feq "mean of empty" 0.0 (Stats.Accumulator.mean acc);
+  Alcotest.check feq "stddev of empty" 0.0 (Stats.Accumulator.stddev acc)
+
+let prop_accumulator_equals_batch =
+  QCheck.Test.make ~name:"accumulator equals batch statistics" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1000.) 1000.))
+    (fun samples ->
+      let acc = Stats.Accumulator.create () in
+      List.iter (Stats.Accumulator.add acc) samples;
+      Float.abs (Stats.Accumulator.mean acc -. Stats.mean samples) < 1e-6
+      && Float.abs (Stats.Accumulator.stddev acc -. Stats.stddev samples) < 1e-6)
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range 0. 100.))
+    (fun samples ->
+      let p25 = Stats.percentile 0.25 samples
+      and p50 = Stats.percentile 0.5 samples
+      and p75 = Stats.percentile 0.75 samples in
+      p25 <= p50 && p50 <= p75)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean of empty raises" `Quick test_mean_empty;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile validates p" `Quick test_percentile_validation;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "accumulator matches batch" `Quick test_accumulator_matches_batch;
+    Alcotest.test_case "accumulator empty" `Quick test_accumulator_empty;
+    QCheck_alcotest.to_alcotest prop_accumulator_equals_batch;
+    QCheck_alcotest.to_alcotest prop_percentile_monotone;
+  ]

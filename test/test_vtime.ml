@@ -1,0 +1,24 @@
+module Vtime = Raid_net.Vtime
+
+let test_conversions () =
+  Alcotest.(check int) "of_ms" 9000 (Vtime.to_us (Vtime.of_ms 9));
+  Alcotest.(check int) "of_ms_f rounds" 2500 (Vtime.to_us (Vtime.of_ms_f 2.5));
+  Alcotest.(check int) "of_ms_f rounds nearest" 1001 (Vtime.to_us (Vtime.of_ms_f 1.0011));
+  Alcotest.check (Alcotest.float 1e-9) "to_ms" 9.0 (Vtime.to_ms (Vtime.of_ms 9))
+
+let test_arithmetic () =
+  let a = Vtime.of_ms 5 and b = Vtime.of_ms 3 in
+  Alcotest.(check int) "add" 8000 (Vtime.to_us (Vtime.add a b));
+  Alcotest.(check int) "sub" 2000 (Vtime.to_us (Vtime.sub a b));
+  Alcotest.(check int) "compare" 1 (Vtime.compare a b);
+  Alcotest.(check int) "zero" 0 (Vtime.to_us Vtime.zero)
+
+let test_pp () =
+  Alcotest.(check string) "pretty" "186.00 ms" (Format.asprintf "%a" Vtime.pp (Vtime.of_ms 186))
+
+let suite =
+  [
+    Alcotest.test_case "conversions" `Quick test_conversions;
+    Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]
