@@ -23,11 +23,52 @@ module Faillock = Raid_core.Faillock
 module Session = Raid_core.Session
 module Table = Raid_util.Table
 module Rng = Raid_util.Rng
+module Pool = Raid_par.Pool
 open Bechamel
 open Toolkit
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '#')
+
+(* {2 Command line}
+
+   [-j N]/[--jobs N] fans every independent-run sweep (figures, ablation
+   grid, scaling/seed sweeps) out over N OCaml domains; output is
+   bit-identical for every N.  [--json FILE] additionally dumps the
+   Bechamel OLS estimates and the wall-clock time of each stage as JSON
+   so the perf trajectory is machine-readable across commits. *)
+
+let jobs = ref 1
+let json_path = ref None
+
+let parse_args () =
+  let usage () =
+    Printf.eprintf "usage: %s [-j N | --jobs N] [--json FILE]\n" Sys.argv.(0);
+    exit 2
+  in
+  let rec go = function
+    | [] -> ()
+    | ("-j" | "--jobs") :: v :: rest -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        jobs := n;
+        go rest
+      | _ -> usage ())
+    | "--json" :: path :: rest ->
+      json_path := Some path;
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* Wall-clock accounting per printed stage, reported in run order. *)
+let wall_timings : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  wall_timings := (name, Unix.gettimeofday () -. t0) :: !wall_timings;
+  r
 
 (* {2 Layer 1: paper reproduction in virtual time} *)
 
@@ -40,22 +81,34 @@ let print_experiment1 () =
       print_newline ())
     (Raid_sim.Experiment1.all ())
 
-let print_experiment2 () =
+(* The three figure simulations are independent pure runs; compute them
+   through the domain pool, then print in the usual order. *)
+let run_figures () =
+  match
+    Pool.map
+      (fun run -> run ())
+      [
+        (fun () -> `E2 (Raid_sim.Experiment2.run ()));
+        (fun () -> `S1 (Raid_sim.Experiment3.scenario1 ()));
+        (fun () -> `S2 (Raid_sim.Experiment3.scenario2 ()));
+      ]
+  with
+  | [ `E2 e2; `S1 s1; `S2 s2 ] -> (e2, s1, s2)
+  | _ -> assert false
+
+let print_experiment2 e2 =
   section "Experiment 2: data availability on a recovering site (Figure 1)";
-  let e2 = Raid_sim.Experiment2.run () in
   Raid_util.Chart.print (Raid_sim.Experiment2.figure e2);
   print_newline ();
   Table.print (Raid_sim.Experiment2.summary_table e2)
 
-let print_experiment3 () =
+let print_experiment3 s1 s2 =
   section "Experiment 3: consistency of replicated copies (Figures 2 and 3)";
-  let s1 = Raid_sim.Experiment3.scenario1 () in
   Raid_util.Chart.print
     (Raid_sim.Experiment3.figure
        ~title:"Figure 2: database inconsistency (scenario 1: alternating 2-site failures)" s1);
   print_newline ();
   Table.print (Raid_sim.Experiment3.summary_table ~title:"Scenario 1 summary" s1);
-  let s2 = Raid_sim.Experiment3.scenario2 () in
   Raid_util.Chart.print
     (Raid_sim.Experiment3.figure
        ~title:"Figure 3: database inconsistency (scenario 2: rolling 4-site failures)" s2);
@@ -179,22 +232,77 @@ let run_bechamel () =
       [ ("benchmark", Table.Left); ("ns/run", Table.Right); ("r2", Table.Right) ]
   in
   let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let estimates =
+    List.map
+      (fun (name, ols) ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+        in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+        (name, estimate, r2))
+      (List.sort compare rows)
+  in
   List.iter
-    (fun (name, ols) ->
-      let estimate =
-        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
-      in
-      let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+    (fun (name, estimate, r2) ->
       Table.add_row table [ name; Printf.sprintf "%.0f" estimate; Printf.sprintf "%.4f" r2 ])
-    (List.sort compare rows);
-  Table.print table
+    estimates;
+  Table.print table;
+  estimates
+
+(* {2 JSON results dump} *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
+
+let write_json ~bechamel path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"jobs\": %d,\n" !jobs;
+  out "  \"wall_clock_s\": [\n";
+  let walls = List.rev !wall_timings in
+  List.iteri
+    (fun i (name, seconds) ->
+      out "    {\"name\": \"%s\", \"seconds\": %s}%s\n" (json_escape name) (json_float seconds)
+        (if i = List.length walls - 1 then "" else ","))
+    walls;
+  out "  ],\n";
+  out "  \"bechamel_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, estimate, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n" (json_escape name)
+        (json_float estimate) (json_float r2)
+        (if i = List.length bechamel - 1 then "" else ","))
+    bechamel;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "\nbenchmark results written to %s\n" path
 
 let () =
+  parse_args ();
+  Pool.set_default_domains !jobs;
   print_endline "RAID replicated copy control: benchmark harness";
   print_endline "(paper: Bhargava, Noll, Sabo, ICDE 1988 / Purdue CSD-TR-692)";
-  print_experiment1 ();
-  print_experiment2 ();
-  print_experiment3 ();
-  print_ablations ();
-  print_scaling_and_robustness ();
-  run_bechamel ()
+  Printf.printf "(independent runs fan out over %d domain%s; pass -j N to change)\n" !jobs
+    (if !jobs = 1 then "" else "s");
+  timed "experiment 1 tables" print_experiment1;
+  let e2, s1, s2 = timed "figure runs (experiments 2-3)" run_figures in
+  print_experiment2 e2;
+  print_experiment3 s1 s2;
+  timed "ablation grid" print_ablations;
+  timed "scaling and robustness sweeps" print_scaling_and_robustness;
+  let bechamel = timed "bechamel microbenchmarks" run_bechamel in
+  match !json_path with None -> () | Some path -> write_json ~bechamel path

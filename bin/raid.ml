@@ -9,6 +9,29 @@ module Runner = Raid_sim.Runner
 module Table = Raid_util.Table
 open Cmdliner
 
+(* Shared [-j]/[--jobs] flag: independent simulation runs fan out over
+   this many OCaml domains (Raid_par.Pool); results are identical for
+   any value. *)
+let jobs =
+  let domain_count =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | Some _ -> Error (`Msg "domain count must be at least 1")
+      | None -> Error (`Msg "expected an integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value & opt domain_count 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Run independent simulations on $(docv) OCaml domains (default 1 = sequential). \
+           Output is bit-identical for every value; use the number of cores for the fastest \
+           sweep.")
+
+let set_jobs n = Raid_par.Pool.set_default_domains n
+
 let print_exp1 () =
   List.iter
     (fun report ->
@@ -79,7 +102,8 @@ let exp_cmd =
 
 (* `raid ablations` *)
 let ablations_cmd =
-  let run () =
+  let run jobs =
+    set_jobs jobs;
     List.iter
       (fun table ->
         Table.print table;
@@ -88,7 +112,31 @@ let ablations_cmd =
   in
   Cmd.v
     (Cmd.info "ablations" ~doc:"Run the ablation studies listed in DESIGN.md (A1-A6, A8-A9; A7 via `concurrency`).")
-    Term.(const run $ const ())
+    Term.(const run $ jobs)
+
+(* `raid scaling` *)
+let scaling_cmd =
+  let run jobs =
+    set_jobs jobs;
+    Table.print (Raid_sim.Scaling.control1_table (Raid_sim.Scaling.control1_scaling ()));
+    print_newline ();
+    Table.print (Raid_sim.Scaling.experiment2_seeds_table (Raid_sim.Scaling.experiment2_seeds ()));
+    print_newline ();
+    Table.print (Raid_sim.Scaling.scenario1_seeds_table (Raid_sim.Scaling.scenario1_seeds ()));
+    print_newline ();
+    Table.print
+      (Raid_sim.Scaling.cluster_size_table (Raid_sim.Scaling.recovery_vs_cluster_size ()));
+    print_newline ();
+    Table.print (Raid_sim.Analysis.comparison_table ());
+    print_newline ();
+    Raid_util.Chart.print (Raid_sim.Analysis.figure ())
+  in
+  Cmd.v
+    (Cmd.info "scaling"
+       ~doc:
+         "Run the scaling and multi-seed robustness sweeps (control-1 scaling, Experiment-2 \
+          seed sweep, cluster sizes, model comparison).")
+    Term.(const run $ jobs)
 
 (* `raid scenario` — a configurable single-outage scenario. *)
 let scenario_cmd =
@@ -199,13 +247,14 @@ let concurrency_cmd =
   let txns =
     Arg.(value & opt int 200 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per level.")
   in
-  let run levels txns =
+  let run levels txns jobs =
+    set_jobs jobs;
     Table.print (Raid_sim.Concurrent.sweep_table (Raid_sim.Concurrent.sweep ~levels ~txns ()))
   in
   Cmd.v
     (Cmd.info "concurrency"
        ~doc:"Sweep concurrent transaction processing levels (conservative strict 2PL).")
-    Term.(const run $ levels $ txns)
+    Term.(const run $ levels $ txns $ jobs)
 
 (* `raid repl` *)
 let repl_cmd =
@@ -227,7 +276,7 @@ let main_cmd =
     "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
   in
   Cmd.group
-    (Cmd.info "raid" ~version:"1.0.0" ~doc)
-    [ exp_cmd; ablations_cmd; scenario_cmd; concurrency_cmd; repl_cmd ]
+    (Cmd.info "raid" ~version:"1.1.0" ~doc)
+    [ exp_cmd; ablations_cmd; scaling_cmd; scenario_cmd; concurrency_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -21,37 +21,50 @@ type counters = {
   timer_discarded : int;
 }
 
+(* Hot-path accounting: updated in place on every event.  The public
+   [counters] record above stays immutable; [counters t] takes a
+   snapshot copy.  Rebuilding a five-field record per delivered message
+   (the previous representation) was the engine's dominant per-event
+   allocation. *)
+type live_counters = {
+  mutable live_sent : int;
+  mutable live_delivered : int;
+  mutable live_undeliverable : int;
+  mutable live_timer_fired : int;
+  mutable live_timer_discarded : int;
+}
+
 (* Internal scheduled actions.  [Arrive] evaluates deliverability at
    arrival time; [Notify_failure] is the sender-side timeout; [Fire] is a
-   local timer. *)
+   local timer.  The [(at, seq)] ordering keys live unboxed inside
+   [Heap.Prio]; no per-event wrapper record is allocated. *)
 type 'm action =
   | Arrive of { src : int; dst : int; payload : 'm }
   | Notify_failure of { src : int; dst : int; payload : 'm }
   | Fire of { dst : int; payload : 'm }
 
-type 'm scheduled = { at : Vtime.t; seq : int; action : 'm action }
-
 type 'm t = {
   num_sites : int;
   message_latency : Vtime.t;
   failure_timeout : Vtime.t;
-  queue : 'm scheduled Heap.t;
+  queue : 'm action Heap.Prio.t;
   handlers : 'm handler option array;
   alive : bool array;
   links : bool array array;
   latencies : Vtime.t array array;  (* per-link one-way latency *)
   mutable clock : Vtime.t;
   mutable seq : int;
-  mutable counters : counters;
+  live : live_counters;
   sent_by : int array;
   delivered_to : int array;
   trace_enabled : bool;
   mutable trace_rev : 'm trace_entry list;
+  mutable ctxs : 'm ctx array;  (* per-site scratch, reset on each invoke *)
 }
 
 and 'm handler = 'm ctx -> 'm event -> unit
 
-and 'm ctx = { engine : 'm t; ctx_self : int; base : Vtime.t; mutable elapsed : Vtime.t }
+and 'm ctx = { engine : 'm t; ctx_self : int; mutable base : Vtime.t; mutable elapsed : Vtime.t }
 
 let external_source = -1
 
@@ -63,25 +76,37 @@ let create ?(message_latency = Vtime.of_ms 9) ?failure_timeout ?(trace = false) 
   in
   if failure_timeout < message_latency then
     invalid_arg "Engine.create: failure_timeout below message_latency";
-  {
-    num_sites;
-    message_latency;
-    failure_timeout;
-    queue =
-      Heap.create ~cmp:(fun a b ->
-          match Vtime.compare a.at b.at with 0 -> Int.compare a.seq b.seq | c -> c);
-    handlers = Array.make num_sites None;
-    alive = Array.make num_sites true;
-    links = Array.init num_sites (fun _ -> Array.make num_sites true);
-    latencies = Array.init num_sites (fun _ -> Array.make num_sites message_latency);
-    clock = Vtime.zero;
-    seq = 0;
-    counters = { sent = 0; delivered = 0; undeliverable = 0; timer_fired = 0; timer_discarded = 0 };
-    sent_by = Array.make num_sites 0;
-    delivered_to = Array.make num_sites 0;
-    trace_enabled = trace;
-    trace_rev = [];
-  }
+  let t =
+    {
+      num_sites;
+      message_latency;
+      failure_timeout;
+      queue = Heap.Prio.create ();
+      handlers = Array.make num_sites None;
+      alive = Array.make num_sites true;
+      links = Array.init num_sites (fun _ -> Array.make num_sites true);
+      latencies = Array.init num_sites (fun _ -> Array.make num_sites message_latency);
+      clock = Vtime.zero;
+      seq = 0;
+      live =
+        {
+          live_sent = 0;
+          live_delivered = 0;
+          live_undeliverable = 0;
+          live_timer_fired = 0;
+          live_timer_discarded = 0;
+        };
+      sent_by = Array.make num_sites 0;
+      delivered_to = Array.make num_sites 0;
+      trace_enabled = trace;
+      trace_rev = [];
+      ctxs = [||];
+    }
+  in
+  t.ctxs <-
+    Array.init num_sites (fun i ->
+        { engine = t; ctx_self = i; base = Vtime.zero; elapsed = Vtime.zero });
+  t
 
 let register t site handler =
   if site < 0 || site >= t.num_sites then invalid_arg "Engine.register: bad site id";
@@ -127,7 +152,7 @@ let link_latency t a b =
 
 let schedule t at action =
   let at = max at t.clock in
-  Heap.push t.queue { at; seq = t.seq; action };
+  Heap.Prio.push t.queue ~at ~seq:t.seq action;
   t.seq <- t.seq + 1
 
 let record_trace t ~time ~src ~dst ~payload ~outcome =
@@ -139,7 +164,7 @@ let record_trace t ~time ~src ~dst ~payload ~outcome =
 
 let submit t ~at ~src ~dst payload =
   check_site t dst;
-  t.counters <- { t.counters with sent = t.counters.sent + 1 };
+  t.live.live_sent <- t.live.live_sent + 1;
   if src >= 0 then t.sent_by.(src) <- t.sent_by.(src) + 1;
   let latency = if src >= 0 then t.latencies.(src).(dst) else t.message_latency in
   schedule t (Vtime.add at latency) (Arrive { src; dst; payload })
@@ -159,30 +184,36 @@ let set_timer ctx delay payload =
   if delay < 0 then invalid_arg "Engine.set_timer: negative delay";
   schedule ctx.engine (Vtime.add (time ctx) delay) (Fire { dst = ctx.ctx_self; payload })
 
+(* Handlers run one at a time (only [step] invokes them, and sends/timers
+   merely schedule), so each site's scratch [ctx] can be reset and reused
+   instead of allocating a fresh one per event. *)
 let invoke t site event =
   match t.handlers.(site) with
   | None -> failwith (Printf.sprintf "Engine: no handler registered for site %d" site)
   | Some handler ->
-    let ctx = { engine = t; ctx_self = site; base = t.clock; elapsed = Vtime.zero } in
+    let ctx = t.ctxs.(site) in
+    ctx.base <- t.clock;
+    ctx.elapsed <- Vtime.zero;
     handler ctx event
 
 let deliverable t ~src ~dst = t.alive.(dst) && (src < 0 || link_ok t src dst)
 
 let step t =
-  match Heap.pop t.queue with
-  | None -> false
-  | Some { at; action; _ } ->
+  if Heap.Prio.is_empty t.queue then false
+  else begin
+    let at = Heap.Prio.min_at t.queue in
+    let action = Heap.Prio.pop_min t.queue in
     t.clock <- at;
     (match action with
     | Arrive { src; dst; payload } ->
       if deliverable t ~src ~dst then begin
-        t.counters <- { t.counters with delivered = t.counters.delivered + 1 };
+        t.live.live_delivered <- t.live.live_delivered + 1;
         t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
         record_trace t ~time:at ~src ~dst ~payload ~outcome:Delivered;
         invoke t dst (Message { src; payload })
       end
       else begin
-        t.counters <- { t.counters with undeliverable = t.counters.undeliverable + 1 };
+        t.live.live_undeliverable <- t.live.live_undeliverable + 1;
         record_trace t ~time:at ~src ~dst ~payload ~outcome:Undeliverable;
         if src >= 0 then
           (* The sender times out [failure_timeout] after the send, i.e.
@@ -195,22 +226,35 @@ let step t =
       if t.alive.(src) then invoke t src (Send_failed { dst; payload })
     | Fire { dst; payload } ->
       if t.alive.(dst) then begin
-        t.counters <- { t.counters with timer_fired = t.counters.timer_fired + 1 };
+        t.live.live_timer_fired <- t.live.live_timer_fired + 1;
         invoke t dst (Timer payload)
       end
-      else
-        t.counters <- { t.counters with timer_discarded = t.counters.timer_discarded + 1 });
+      else t.live.live_timer_discarded <- t.live.live_timer_discarded + 1);
     true
+  end
 
 let run ?(max_events = 10_000_000) t =
   let rec loop remaining =
-    if remaining = 0 then failwith "Engine.run: max_events exceeded (livelock?)"
+    if remaining = 0 then
+      failwith
+        (Format.asprintf
+           "Engine.run: max_events (%d) exceeded (livelock?): stuck at virtual time %a with %d \
+            pending events"
+           max_events Vtime.pp t.clock (Heap.Prio.size t.queue))
     else if step t then loop (remaining - 1)
   in
   loop max_events
 
-let pending_events t = Heap.size t.queue
-let counters t = t.counters
+let pending_events t = Heap.Prio.size t.queue
+
+let counters t =
+  {
+    sent = t.live.live_sent;
+    delivered = t.live.live_delivered;
+    undeliverable = t.live.live_undeliverable;
+    timer_fired = t.live.live_timer_fired;
+    timer_discarded = t.live.live_timer_discarded;
+  }
 
 let sent_by t site =
   check_site t site;

@@ -132,7 +132,8 @@ val step : 'm t -> bool
 val run : ?max_events:int -> 'm t -> unit
 (** Process events until quiescent.  @raise Failure if more than
     [max_events] (default 10_000_000) events are processed — a guard
-    against protocol livelock in tests. *)
+    against protocol livelock in tests; the message reports the stuck
+    virtual time and the pending-event count. *)
 
 val pending_events : _ t -> int
 
@@ -147,6 +148,8 @@ type counters = {
 }
 
 val counters : _ t -> counters
+(** Immutable snapshot of the running totals (the engine keeps them in
+    mutable fields internally; this copies). *)
 
 val sent_by : _ t -> int -> int
 (** Messages sent by one site (injections are attributed to no site). *)

@@ -56,3 +56,93 @@ let pop t =
   end
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
+
+module Prio = struct
+  type 'a t = {
+    mutable ats : int array;
+    mutable seqs : int array;
+    mutable payloads : 'a array;
+    mutable size : int;
+  }
+
+  let create () = { ats = [||]; seqs = [||]; payloads = [||]; size = 0 }
+  let is_empty t = t.size = 0
+  let size t = t.size
+
+  let min_at t =
+    if t.size = 0 then invalid_arg "Heap.Prio.min_at: empty heap";
+    t.ats.(0)
+
+  (* Lexicographic (at, seq) order on unboxed int keys. *)
+  let less t i j =
+    let ai = t.ats.(i) and aj = t.ats.(j) in
+    ai < aj || (ai = aj && t.seqs.(i) < t.seqs.(j))
+
+  let swap t i j =
+    let a = t.ats.(i) in
+    t.ats.(i) <- t.ats.(j);
+    t.ats.(j) <- a;
+    let s = t.seqs.(i) in
+    t.seqs.(i) <- t.seqs.(j);
+    t.seqs.(j) <- s;
+    let p = t.payloads.(i) in
+    t.payloads.(i) <- t.payloads.(j);
+    t.payloads.(j) <- p
+
+  let rec sift_up t i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if less t i parent then begin
+        swap t i parent;
+        sift_up t parent
+      end
+    end
+
+  let rec sift_down t i =
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    let smallest = ref i in
+    if left < t.size && less t left !smallest then smallest := left;
+    if right < t.size && less t right !smallest then smallest := right;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let grow t x =
+    let capacity = Array.length t.payloads in
+    if t.size = capacity then begin
+      let next = max 16 (capacity * 2) in
+      let ats = Array.make next 0 and seqs = Array.make next 0 and payloads = Array.make next x in
+      Array.blit t.ats 0 ats 0 t.size;
+      Array.blit t.seqs 0 seqs 0 t.size;
+      Array.blit t.payloads 0 payloads 0 t.size;
+      t.ats <- ats;
+      t.seqs <- seqs;
+      t.payloads <- payloads
+    end
+
+  let push t ~at ~seq x =
+    grow t x;
+    let i = t.size in
+    t.ats.(i) <- at;
+    t.seqs.(i) <- seq;
+    t.payloads.(i) <- x;
+    t.size <- i + 1;
+    sift_up t i
+
+  let pop_min t =
+    if t.size = 0 then invalid_arg "Heap.Prio.pop_min: empty heap";
+    let top = t.payloads.(0) in
+    let n = t.size - 1 in
+    t.size <- n;
+    if n > 0 then begin
+      t.ats.(0) <- t.ats.(n);
+      t.seqs.(0) <- t.seqs.(n);
+      t.payloads.(0) <- t.payloads.(n);
+      (* Alias the vacated tail slot to a live element so the popped
+         payload is not retained by the backing array. *)
+      t.payloads.(n) <- t.payloads.(0);
+      sift_down t 0
+    end;
+    top
+end

@@ -15,3 +15,34 @@ val pop : 'a t -> 'a option
 (** Removes and returns the minimum, or [None] when empty. *)
 
 val peek : 'a t -> 'a option
+
+(** Event queue specialised to the engine's hot path.
+
+    The engine orders events by [(at, seq)] where both are plain [int]s
+    ({!Vtime.t} is an integer count of microseconds, [seq] a submission
+    sequence number).  The generic heap above pays for that with a
+    closure-captured comparator call and one heap-allocated element
+    record per scheduled event; [Prio] stores the two keys unboxed in
+    parallel [int] arrays, compares them with monomorphic integer
+    comparisons, and neither [push] nor [pop_min] allocates (beyond
+    amortised array growth). *)
+module Prio : sig
+  type 'a t
+  (** A min-heap of ['a] payloads keyed by [(at, seq)]. *)
+
+  val create : unit -> 'a t
+  val is_empty : _ t -> bool
+  val size : _ t -> int
+
+  val push : 'a t -> at:int -> seq:int -> 'a -> unit
+  (** Keys are compared lexicographically: earlier [at] first, ties
+      broken by lower [seq].  [seq] values must be distinct for a fully
+      deterministic order (the engine guarantees this). *)
+
+  val min_at : _ t -> int
+  (** [at] key of the minimum.  @raise Invalid_argument when empty. *)
+
+  val pop_min : 'a t -> 'a
+  (** Removes the minimum and returns its payload; read {!min_at} first
+      if the key is needed.  @raise Invalid_argument when empty. *)
+end

@@ -543,14 +543,18 @@ let benchmark_workloads ?(seed = 27) () =
     rows;
   (rows, table)
 
-let all_tables ?(seed = 21) () =
-  [
-    snd (two_step_recovery ~seed ());
-    snd (rw_ratio ~seed:(seed + 1) ());
-    snd (coordinator_placement ());
-    snd (embed_clears ~seed:(seed + 2) ());
-    snd (protocol_availability ~seed:(seed + 3) ());
-    snd (partial_replication ~seed:(seed + 4) ());
-    snd (communication_delays ~seed:(seed + 5) ());
-    snd (benchmark_workloads ~seed:(seed + 6) ());
-  ]
+(* Each ablation is an independent deterministic study; the grid fans
+   out one domain per study. *)
+let all_tables ?domains ?(seed = 21) () =
+  Raid_par.Pool.map ?domains
+    (fun study -> study ())
+    [
+      (fun () -> snd (two_step_recovery ~seed ()));
+      (fun () -> snd (rw_ratio ~seed:(seed + 1) ()));
+      (fun () -> snd (coordinator_placement ()));
+      (fun () -> snd (embed_clears ~seed:(seed + 2) ()));
+      (fun () -> snd (protocol_availability ~seed:(seed + 3) ()));
+      (fun () -> snd (partial_replication ~seed:(seed + 4) ()));
+      (fun () -> snd (communication_delays ~seed:(seed + 5) ()));
+      (fun () -> snd (benchmark_workloads ~seed:(seed + 6) ()));
+    ]

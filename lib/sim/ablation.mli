@@ -116,4 +116,6 @@ type workload_row = {
 
 val benchmark_workloads : ?seed:int -> unit -> workload_row list * table
 
-val all_tables : ?seed:int -> unit -> table list
+val all_tables : ?domains:int -> ?seed:int -> unit -> table list
+(** All ablation tables, one independent study per {!Raid_par.Pool}
+    domain ([?domains] defaults to {!Raid_par.Pool.default_domains}). *)

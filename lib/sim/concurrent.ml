@@ -170,10 +170,10 @@ type sweep_row = {
   speedup : float;
 }
 
-let sweep ?(seed = 17) ?(levels = [ 1; 2; 4; 8; 16 ]) ?(txns = 200) ?(num_sites = 4) () =
+let sweep ?domains ?(seed = 17) ?(levels = [ 1; 2; 4; 8; 16 ]) ?(txns = 200) ?(num_sites = 4) () =
   let workload = Workload.Uniform { max_ops = 5; write_prob = 0.5 } in
   let results =
-    List.map
+    Raid_par.Pool.map ?domains
       (fun level ->
         let config = Config.make ~num_sites ~num_items:50 () in
         (level, run ~seed ~concurrency:level ~txns ~config ~workload ()))

@@ -56,6 +56,14 @@ type sweep_row = {
 }
 
 val sweep :
-  ?seed:int -> ?levels:int list -> ?txns:int -> ?num_sites:int -> unit -> sweep_row list
+  ?domains:int ->
+  ?seed:int ->
+  ?levels:int list ->
+  ?txns:int ->
+  ?num_sites:int ->
+  unit ->
+  sweep_row list
+(** One independent simulation per concurrency level, fanned out over
+    [?domains] {!Raid_par.Pool} domains. *)
 
 val sweep_table : sweep_row list -> Raid_util.Table.t

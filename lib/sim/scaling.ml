@@ -4,6 +4,7 @@ module Workload = Raid_core.Workload
 module Metrics = Raid_core.Metrics
 module Stats = Raid_util.Stats
 module Table = Raid_util.Table
+module Pool = Raid_par.Pool
 
 type control1_row = {
   num_sites : int;
@@ -43,10 +44,13 @@ let control1_once ~seed ~num_sites ~num_items =
     control2_ms = mean_of metrics.Metrics.control2_ms;
   }
 
-let control1_scaling ?(seed = 31) ?(site_counts = [ 2; 4; 8; 16 ])
+let control1_scaling ?domains ?(seed = 31) ?(site_counts = [ 2; 4; 8; 16 ])
     ?(item_counts = [ 50; 200; 800 ]) () =
-  List.map (fun num_sites -> control1_once ~seed ~num_sites ~num_items:50) site_counts
-  @ List.map (fun num_items -> control1_once ~seed ~num_sites:4 ~num_items) item_counts
+  let cases =
+    List.map (fun num_sites -> (num_sites, 50)) site_counts
+    @ List.map (fun num_items -> (4, num_items)) item_counts
+  in
+  Pool.map ?domains (fun (num_sites, num_items) -> control1_once ~seed ~num_sites ~num_items) cases
 
 let fmt_ms v = if Float.is_nan v then "-" else Printf.sprintf "%.1f" v
 
@@ -86,8 +90,9 @@ type seed_summary = {
   last_10 : Stats.summary;
 }
 
-let experiment2_seeds ?(seeds = List.init 25 (fun i -> i + 1)) ?(recovering_weight = 0.05) () =
-  let runs = List.map (fun seed -> Experiment2.run ~seed ~recovering_weight ()) seeds in
+let experiment2_seeds ?domains ?(seeds = List.init 25 (fun i -> i + 1))
+    ?(recovering_weight = 0.05) () =
+  let runs = Pool.map ?domains (fun seed -> Experiment2.run ~seed ~recovering_weight ()) seeds in
   let stat f = Stats.summarize (List.map (fun r -> f r.Experiment2.stats) runs) in
   {
     seeds = List.length seeds;
@@ -140,7 +145,7 @@ type cluster_size_row = {
   cs_copiers : int;
 }
 
-let recovery_vs_cluster_size ?(seed = 33) ?(site_counts = [ 2; 4; 8 ]) () =
+let recovery_vs_cluster_size ?domains ?(seed = 33) ?(site_counts = [ 2; 4; 8 ]) () =
   let run num_sites =
     let config = Config.make ~num_sites ~num_items:50 () in
     let scenario =
@@ -172,7 +177,7 @@ let recovery_vs_cluster_size ?(seed = 33) ?(site_counts = [ 2; 4; 8 ]) () =
       cs_copiers = (Cluster.metrics result.Runner.cluster).Metrics.copier_requests;
     }
   in
-  List.map run site_counts
+  Pool.map ?domains run site_counts
 
 let cluster_size_table rows =
   let table =
@@ -199,9 +204,11 @@ let cluster_size_table rows =
 
 type scenario1_summary = { s1_seeds : int; aborts : Stats.summary }
 
-let scenario1_seeds ?(seeds = List.init 25 (fun i -> i + 1)) () =
+let scenario1_seeds ?domains ?(seeds = List.init 25 (fun i -> i + 1)) () =
   let aborts =
-    List.map (fun seed -> float_of_int (Experiment3.scenario1 ~seed ()).Experiment3.aborted) seeds
+    Pool.map ?domains
+      (fun seed -> float_of_int (Experiment3.scenario1 ~seed ()).Experiment3.aborted)
+      seeds
   in
   { s1_seeds = List.length seeds; aborts = Stats.summarize aborts }
 

@@ -10,7 +10,12 @@
     The figures report a single run each; {!experiment2_seeds} replays
     Experiment 2 over many seeds and summarises the distribution of its
     headline statistics, so EXPERIMENTS.md can state ranges rather than
-    one lucky sample. *)
+    one lucky sample.
+
+    Every sweep here is a batch of independent deterministic runs; each
+    takes [?domains] and fans the batch out through {!Raid_par.Pool.map}
+    (default: {!Raid_par.Pool.default_domains}, i.e. sequential unless
+    [-j] was given).  Results are identical for every domain count. *)
 
 type control1_row = {
   num_sites : int;
@@ -21,7 +26,12 @@ type control1_row = {
 }
 
 val control1_scaling :
-  ?seed:int -> ?site_counts:int list -> ?item_counts:int list -> unit -> control1_row list
+  ?domains:int ->
+  ?seed:int ->
+  ?site_counts:int list ->
+  ?item_counts:int list ->
+  unit ->
+  control1_row list
 
 val control1_table : control1_row list -> Raid_util.Table.t
 
@@ -34,7 +44,8 @@ type seed_summary = {
   last_10 : Raid_util.Stats.summary;
 }
 
-val experiment2_seeds : ?seeds:int list -> ?recovering_weight:float -> unit -> seed_summary
+val experiment2_seeds :
+  ?domains:int -> ?seeds:int list -> ?recovering_weight:float -> unit -> seed_summary
 
 val experiment2_seeds_table : seed_summary -> Raid_util.Table.t
 
@@ -45,7 +56,8 @@ type cluster_size_row = {
   cs_copiers : int;
 }
 
-val recovery_vs_cluster_size : ?seed:int -> ?site_counts:int list -> unit -> cluster_size_row list
+val recovery_vs_cluster_size :
+  ?domains:int -> ?seed:int -> ?site_counts:int list -> unit -> cluster_size_row list
 (** The Experiment-2 schedule at different cluster sizes (the paper used
     2 sites): peak fail-locks for the failed site, recovery length and
     copier count. *)
@@ -57,7 +69,7 @@ type scenario1_summary = {
   aborts : Raid_util.Stats.summary;
 }
 
-val scenario1_seeds : ?seeds:int list -> unit -> scenario1_summary
+val scenario1_seeds : ?domains:int -> ?seeds:int list -> unit -> scenario1_summary
 (** Experiment 3 scenario 1's abort count across seeds (paper: 13). *)
 
 val scenario1_seeds_table : scenario1_summary -> Raid_util.Table.t

@@ -181,8 +181,22 @@ let test_run_guard () =
   Engine.register engine 0 (fun ctx _ -> Engine.send ctx 1 Tick);
   Engine.register engine 1 (fun ctx _ -> Engine.send ctx 0 Tick);
   Engine.inject engine ~dst:0 Tick;
-  Alcotest.check_raises "livelock guard" (Failure "Engine.run: max_events exceeded (livelock?)")
-    (fun () -> Engine.run ~max_events:100 engine)
+  (* The guard message must identify where the run got stuck: the bound,
+     the stuck virtual time and the pending-event count. *)
+  match Engine.run ~max_events:100 engine with
+  | () -> Alcotest.fail "livelock guard did not trip"
+  | exception Failure msg ->
+    let contains needle =
+      Alcotest.(check bool)
+        (Printf.sprintf "message mentions %S" needle)
+        true
+        (let nl = String.length needle and ml = String.length msg in
+         let rec scan i = i + nl <= ml && (String.sub msg i nl = needle || scan (i + 1)) in
+         scan 0)
+    in
+    contains "max_events (100) exceeded";
+    contains "stuck at virtual time";
+    contains "pending events"
 
 let suite =
   [

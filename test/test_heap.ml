@@ -39,6 +39,63 @@ let prop_sorted =
       List.iter (Heap.push h) items;
       drain h = List.sort Int.compare items)
 
+(* {2 The specialised (at, seq) event queue} *)
+
+let drain_prio h =
+  let rec loop acc =
+    if Heap.Prio.is_empty h then List.rev acc
+    else
+      let at = Heap.Prio.min_at h in
+      let payload = Heap.Prio.pop_min h in
+      loop ((at, payload) :: acc)
+  in
+  loop []
+
+let test_prio_empty () =
+  let h = Heap.Prio.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.Prio.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.Prio.size h);
+  Alcotest.check_raises "min_at empty" (Invalid_argument "Heap.Prio.min_at: empty heap")
+    (fun () -> ignore (Heap.Prio.min_at h));
+  Alcotest.check_raises "pop_min empty" (Invalid_argument "Heap.Prio.pop_min: empty heap")
+    (fun () -> ignore (Heap.Prio.pop_min h))
+
+let test_prio_at_then_seq_order () =
+  let h = Heap.Prio.create () in
+  (* Same at: seq breaks the tie; different at: at wins regardless of seq. *)
+  Heap.Prio.push h ~at:20 ~seq:0 "late";
+  Heap.Prio.push h ~at:10 ~seq:2 "early-second";
+  Heap.Prio.push h ~at:10 ~seq:1 "early-first";
+  Heap.Prio.push h ~at:30 ~seq:3 "latest";
+  Alcotest.(check int) "size" 4 (Heap.Prio.size h);
+  Alcotest.(check (list (pair int string)))
+    "drain order"
+    [ (10, "early-first"); (10, "early-second"); (20, "late"); (30, "latest") ]
+    (drain_prio h)
+
+let prop_prio_matches_generic =
+  (* The specialised queue must order exactly like the generic heap under
+     the engine's (at, seq) comparator; seq is the (unique) list index. *)
+  QCheck.Test.make ~name:"Prio matches generic heap on (at, seq)" ~count:300
+    QCheck.(list small_nat)
+    (fun ats ->
+      let generic =
+        Heap.create ~cmp:(fun (a1, s1) (a2, s2) ->
+            match Int.compare a1 a2 with 0 -> Int.compare s1 s2 | c -> c)
+      in
+      let prio = Heap.Prio.create () in
+      List.iteri
+        (fun seq at ->
+          Heap.push generic (at, seq);
+          Heap.Prio.push prio ~at ~seq seq)
+        ats;
+      let rec drain_generic acc =
+        match Heap.pop generic with
+        | None -> List.rev acc
+        | Some (_, seq) -> drain_generic (seq :: acc)
+      in
+      drain_generic [] = List.map snd (drain_prio prio))
+
 let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
@@ -46,4 +103,7 @@ let suite =
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "custom comparison" `Quick test_custom_comparison;
     QCheck_alcotest.to_alcotest prop_sorted;
+    Alcotest.test_case "prio: empty" `Quick test_prio_empty;
+    Alcotest.test_case "prio: at then seq order" `Quick test_prio_at_then_seq_order;
+    QCheck_alcotest.to_alcotest prop_prio_matches_generic;
   ]

@@ -8,6 +8,7 @@ let () =
       ("heap", Test_heap.suite);
       ("engine", Test_engine.suite);
       ("engine-props", Test_engine_props.suite);
+      ("par", Test_par.suite);
       ("storage", Test_storage.suite);
       ("session", Test_session.suite);
       ("faillock", Test_faillock.suite);
