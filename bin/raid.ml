@@ -236,6 +236,63 @@ let scenario_cmd =
       const run $ sites $ items $ max_ops $ write_prob $ seed $ fail_site $ down_txns
       $ max_recovery $ two_step $ csv)
 
+(* `raid trace` — run a named scenario with protocol tracing on. *)
+let trace_cmd =
+  let scenario_doc =
+    String.concat "; "
+      (List.map
+         (fun (name, description) -> Printf.sprintf "$(b,%s): %s" name description)
+         Raid_sim.Tracing.scenarios)
+  in
+  let scenario_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:("Scenario to trace. " ^ scenario_doc ^ "."))
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("jsonl", `Jsonl); ("chrome", `Chrome); ("summary", `Summary) ]) `Summary
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,jsonl) (one JSON object per protocol event), $(b,chrome) \
+             (Chrome trace-event JSON, loadable in Perfetto with one track per site and 2PC \
+             phases nested inside transaction spans) or $(b,summary) (event counts and \
+             virtual-latency histograms).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
+  in
+  let run scenario_name format out seed jobs =
+    set_jobs jobs;
+    match Raid_sim.Tracing.scenario_of_name ?seed scenario_name with
+    | Error message ->
+      prerr_endline ("raid trace: " ^ message);
+      exit 2
+    | Ok scenario ->
+      let output = Raid_sim.Tracing.run scenario in
+      let rendered = Raid_sim.Tracing.render ~format output in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+        Raid_sim.Export.write_file ~path rendered;
+        Printf.printf "trace written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with the protocol trace enabled and export it (JSONL, Chrome \
+          trace-event JSON, or a latency summary).")
+    Term.(const run $ scenario_name $ format $ out $ seed $ jobs)
+
 (* `raid concurrency` *)
 let concurrency_cmd =
   let levels =
@@ -276,7 +333,7 @@ let main_cmd =
     "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
   in
   Cmd.group
-    (Cmd.info "raid" ~version:"1.1.0" ~doc)
-    [ exp_cmd; ablations_cmd; scaling_cmd; scenario_cmd; concurrency_cmd; repl_cmd ]
+    (Cmd.info "raid" ~version:"1.2.0" ~doc)
+    [ exp_cmd; ablations_cmd; scaling_cmd; scenario_cmd; trace_cmd; concurrency_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -16,7 +16,7 @@ type t = {
   mutable outcome_hook : (Metrics.outcome -> unit) option;
 }
 
-let create ?(detection = Immediate) ?(trace = false) config =
+let create ?(detection = Immediate) ?(trace = false) ?obs config =
   let metrics = Metrics.create () in
   let engine =
     Engine.create ~message_latency:config.Config.cost.Cost_model.message_latency ~trace
@@ -39,7 +39,7 @@ let create ?(detection = Immediate) ?(trace = false) config =
   in
   let sites =
     Array.init config.Config.num_sites (fun id ->
-        Site.create ~id ~config ~metrics ~on_outcome ())
+        Site.create ~id ~config ~metrics ~on_outcome ?obs ())
   in
   Array.iteri (fun id site -> Engine.register engine id (Site.handler site)) sites;
   let t =

@@ -23,9 +23,12 @@ type detection = Immediate | On_timeout
 
 type t
 
-val create : ?detection:detection -> ?trace:bool -> Config.t -> t
+val create :
+  ?detection:detection -> ?trace:bool -> ?obs:Raid_obs.Trace.sink -> Config.t -> t
 (** A fresh cluster: all sites up, databases identical, no fail-locks.
-    [detection] defaults to [Immediate]. *)
+    [detection] defaults to [Immediate].  [obs] is handed to every site:
+    one sink collects the whole cluster's protocol trace (entries carry
+    the emitting site's id). *)
 
 val config : t -> Config.t
 val metrics : t -> Metrics.t

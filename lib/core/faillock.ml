@@ -1,11 +1,20 @@
 module Bitset = Raid_util.Bitset
 
-type t = { num_sites : int; maps : Bitset.t array }
+type hook = item:int -> site:int -> locked:bool -> unit
+
+type t = { num_sites : int; maps : Bitset.t array; mutable hook : hook option }
 
 let create ~num_items ~num_sites =
   if num_items < 0 then invalid_arg "Faillock.create: negative num_items";
   if num_sites <= 0 then invalid_arg "Faillock.create: num_sites must be positive";
-  { num_sites; maps = Array.init num_items (fun _ -> Bitset.create num_sites) }
+  { num_sites; maps = Array.init num_items (fun _ -> Bitset.create num_sites); hook = None }
+
+let set_hook t hook = t.hook <- hook
+
+(* Fire the observability hook on an actual bit transition.  With no
+   hook installed (the default) this is a single branch. *)
+let notify t ~item ~site ~locked =
+  match t.hook with None -> () | Some hook -> hook ~item ~site ~locked
 
 let num_items t = Array.length t.maps
 let num_sites t = t.num_sites
@@ -20,12 +29,14 @@ let set t ~item ~site =
   let m = map t item in
   let fresh = not (Bitset.mem m site) in
   Bitset.set m site;
+  if fresh then notify t ~item ~site ~locked:true;
   fresh
 
 let clear t ~item ~site =
   let m = map t item in
   let was_set = Bitset.mem m site in
   Bitset.clear m site;
+  if was_set then notify t ~item ~site ~locked:false;
   was_set
 
 let commit_update t ~item ~site_up ~set:set_count ~cleared =
@@ -34,12 +45,14 @@ let commit_update t ~item ~site_up ~set:set_count ~cleared =
     if site_up site then begin
       if Bitset.mem m site then begin
         Bitset.clear m site;
-        incr cleared
+        incr cleared;
+        notify t ~item ~site ~locked:false
       end
     end
     else if not (Bitset.mem m site) then begin
       Bitset.set m site;
-      incr set_count
+      incr set_count;
+      notify t ~item ~site ~locked:true
     end
   done
 
@@ -61,7 +74,9 @@ let any_locked t ~item = not (Bitset.is_empty (map t item))
 let clear_sites t ~item ~sites =
   List.fold_left (fun acc site -> if clear t ~item ~site then acc + 1 else acc) 0 sites
 
-let copy t = { t with maps = Array.map Bitset.copy t.maps }
+(* Copies are inert data (shipped inside [Recovery_state] messages); they
+   never fire the source's hook. *)
+let copy t = { t with maps = Array.map Bitset.copy t.maps; hook = None }
 
 let check_shape t from =
   if num_items t <> num_items from || t.num_sites <> from.num_sites then
@@ -71,13 +86,33 @@ let install t ~from =
   check_shape t from;
   Array.iteri
     (fun item m ->
+      (* Report the per-bit diff before overwriting (control-1 installs a
+         whole table at once; the trace still wants transitions). *)
+      (match t.hook with
+      | None -> ()
+      | Some _ ->
+        for site = 0 to t.num_sites - 1 do
+          let before = Bitset.mem t.maps.(item) site in
+          let after = Bitset.mem m site in
+          if before <> after then notify t ~item ~site ~locked:after
+        done);
       Bitset.clear_all t.maps.(item);
       Bitset.union_into ~dst:t.maps.(item) m)
     from.maps
 
 let merge t ~from =
   check_shape t from;
-  Array.iteri (fun item m -> Bitset.union_into ~dst:t.maps.(item) m) from.maps
+  Array.iteri
+    (fun item m ->
+      (match t.hook with
+      | None -> ()
+      | Some _ ->
+        List.iter
+          (fun site ->
+            if not (Bitset.mem t.maps.(item) site) then notify t ~item ~site ~locked:true)
+          (Bitset.to_list m));
+      Bitset.union_into ~dst:t.maps.(item) m)
+    from.maps
 
 let total_locked t = Array.fold_left (fun acc m -> acc + Bitset.cardinal m) 0 t.maps
 

@@ -10,8 +10,17 @@
 
 type t
 
+type hook = item:int -> site:int -> locked:bool -> unit
+(** Observability callback, fired on every {e actual} bit transition
+    ([locked] is the new state).  Not fired by no-op operations. *)
+
 val create : num_items:int -> num_sites:int -> t
-(** All bits clear. *)
+(** All bits clear, no hook. *)
+
+val set_hook : t -> hook option -> unit
+(** Install (or remove) the transition hook.  {!copy} never carries the
+    hook over — copies are inert data shipped in messages.  With no hook
+    the per-operation overhead is one branch. *)
 
 val num_items : t -> int
 val num_sites : t -> int

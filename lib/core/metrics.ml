@@ -30,7 +30,11 @@ type t = {
   mutable faillocks_cleared : int;
   mutable coordinator_ms : float list;
   mutable coordinator_copier_ms : float list;
+  mutable abort_ms : float list;
   mutable participant_ms : float list;
+  mutable phase_copy_ms : float list;
+  mutable phase_prepare_ms : float list;
+  mutable phase_commit_ms : float list;
   mutable control1_recovering_ms : float list;
   mutable control1_operational_ms : float list;
   mutable control2_ms : float list;
@@ -53,7 +57,11 @@ let create () =
     faillocks_cleared = 0;
     coordinator_ms = [];
     coordinator_copier_ms = [];
+    abort_ms = [];
     participant_ms = [];
+    phase_copy_ms = [];
+    phase_prepare_ms = [];
+    phase_commit_ms = [];
     control1_recovering_ms = [];
     control1_operational_ms = [];
     control2_ms = [];
@@ -75,7 +83,11 @@ let reset t =
   t.faillocks_cleared <- 0;
   t.coordinator_ms <- [];
   t.coordinator_copier_ms <- [];
+  t.abort_ms <- [];
   t.participant_ms <- [];
+  t.phase_copy_ms <- [];
+  t.phase_prepare_ms <- [];
+  t.phase_commit_ms <- [];
   t.control1_recovering_ms <- [];
   t.control1_operational_ms <- [];
   t.control2_ms <- [];
@@ -95,6 +107,26 @@ let snapshot_counts t =
     ("control3_backups", t.control3_backups);
     ("faillocks_set", t.faillocks_set);
     ("faillocks_cleared", t.faillocks_cleared);
+  ]
+
+(* Every latency sample list, labelled, for the observability reports:
+   first by transaction outcome, then by 2PC phase, then the control and
+   service samples the Experiment-1 tables quote.  Samples are stored
+   most-recent-first; groups may be empty. *)
+let latency_groups t =
+  [
+    ("commit (no copier)", t.coordinator_ms);
+    ("commit (with copier)", t.coordinator_copier_ms);
+    ("abort", t.abort_ms);
+    ("participant", t.participant_ms);
+    ("phase: copy", t.phase_copy_ms);
+    ("phase: prepare", t.phase_prepare_ms);
+    ("phase: commit", t.phase_commit_ms);
+    ("control1 (recovering)", t.control1_recovering_ms);
+    ("control1 (operational)", t.control1_operational_ms);
+    ("control2", t.control2_ms);
+    ("copy serve", t.copy_serve_ms);
+    ("clear special", t.clear_special_ms);
   ]
 
 let pp_abort_reason ppf = function

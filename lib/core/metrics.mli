@@ -43,7 +43,14 @@ type t = {
   mutable faillocks_cleared : int;  (** bit transitions set->clear, all sites *)
   mutable coordinator_ms : float list;  (** committed txns without copiers *)
   mutable coordinator_copier_ms : float list;  (** committed txns with >= 1 copier *)
+  mutable abort_ms : float list;  (** aborted txns, reception to abort *)
   mutable participant_ms : float list;
+  mutable phase_copy_ms : float list;
+      (** coordinator time in the copier round, per txn that ran one *)
+  mutable phase_prepare_ms : float list;
+      (** 2PC phase 1: prepare sent to last vote received *)
+  mutable phase_commit_ms : float list;
+      (** 2PC phase 2: decide sent to last commit-ack (or send-failure) *)
   mutable control1_recovering_ms : float list;
   mutable control1_operational_ms : float list;
   mutable control2_ms : float list;
@@ -58,5 +65,10 @@ val reset : t -> unit
 
 val snapshot_counts : t -> (string * int) list
 (** Counter names and values, for reports. *)
+
+val latency_groups : t -> (string * float list) list
+(** Every latency sample list with a stable label — per-transaction
+    virtual latencies by outcome, by 2PC phase, and the control/service
+    samples.  Groups may be empty; samples are most-recent-first. *)
 
 val pp_abort_reason : Format.formatter -> abort_reason -> unit

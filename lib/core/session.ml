@@ -2,27 +2,39 @@ type state = Up | Down | Waiting_recover | Terminating
 
 type entry = { session : int; state : state }
 
-type t = entry array
+type hook = site:int -> session:int -> state:state -> unit
+
+type t = { entries : entry array; mutable hook : hook option }
 
 let create ~num_sites =
   if num_sites <= 0 then invalid_arg "Session.create: num_sites must be positive";
-  Array.make num_sites { session = 1; state = Up }
+  { entries = Array.make num_sites { session = 1; state = Up }; hook = None }
 
-let num_sites = Array.length
+let set_hook t hook = t.hook <- hook
+
+let num_sites t = Array.length t.entries
 
 let check t site =
-  if site < 0 || site >= Array.length t then invalid_arg "Session: site out of range"
+  if site < 0 || site >= Array.length t.entries then invalid_arg "Session: site out of range"
 
 let get t site =
   check t site;
-  t.(site)
+  t.entries.(site)
 
 let session t site = (get t site).session
 let state t site = (get t site).state
 
+(* Fire the observability hook only when the entry actually changes. *)
+let notify t site (entry : entry) =
+  match t.hook with
+  | None -> ()
+  | Some hook -> hook ~site ~session:entry.session ~state:entry.state
+
 let set t site entry =
   check t site;
-  t.(site) <- entry
+  let before = t.entries.(site) in
+  t.entries.(site) <- entry;
+  if before <> entry then notify t site entry
 
 let mark_down t site = set t site { (get t site) with state = Down }
 let mark_waiting t site ~session = set t site { session; state = Waiting_recover }
@@ -33,24 +45,29 @@ let is_up t site = state t site = Up
 
 let operational t =
   let up = ref [] in
-  for site = Array.length t - 1 downto 0 do
-    if t.(site).state = Up then up := site :: !up
+  for site = Array.length t.entries - 1 downto 0 do
+    if t.entries.(site).state = Up then up := site :: !up
   done;
   !up
 
 let operational_except t site = List.filter (fun s -> s <> site) (operational t)
 
-let copy = Array.copy
+(* Copies are inert data (shipped inside [Recovery_state] messages); they
+   never carry the source's hook. *)
+let copy t = { entries = Array.copy t.entries; hook = None }
 
 let install t ~from =
-  if Array.length t <> Array.length from then invalid_arg "Session.install: size mismatch";
-  Array.blit from 0 t 0 (Array.length t)
+  if Array.length t.entries <> Array.length from.entries then
+    invalid_arg "Session.install: size mismatch";
+  Array.iteri (fun site entry -> set t site entry) from.entries
 
 let merge_failure t failed = List.iter (mark_down t) failed
 
 let equal a b =
-  Array.length a = Array.length b
-  && Array.for_all2 (fun (x : entry) (y : entry) -> x.session = y.session && x.state = y.state) a b
+  Array.length a.entries = Array.length b.entries
+  && Array.for_all2
+       (fun (x : entry) (y : entry) -> x.session = y.session && x.state = y.state)
+       a.entries b.entries
 
 let pp_state ppf = function
   | Up -> Format.pp_print_string ppf "up"
@@ -58,11 +75,13 @@ let pp_state ppf = function
   | Waiting_recover -> Format.pp_print_string ppf "waiting"
   | Terminating -> Format.pp_print_string ppf "terminating"
 
+let state_name state = Format.asprintf "%a" pp_state state
+
 let pp ppf t =
   Format.fprintf ppf "@[<h>[";
   Array.iteri
     (fun site { session; state } ->
       if site > 0 then Format.fprintf ppf "; ";
       Format.fprintf ppf "%d:%d/%a" site session pp_state state)
-    t;
+    t.entries;
   Format.fprintf ppf "]@]"

@@ -15,9 +15,18 @@ type entry = { session : int; state : state }
 type t
 (** A nominal session vector. *)
 
+type hook = site:int -> session:int -> state:state -> unit
+(** Observability callback, fired whenever a vector entry {e actually}
+    changes (the arguments are the new entry). *)
+
 val create : num_sites:int -> t
 (** All sites perceived [Up] with session number 1 (the initial
     "consistent and up-to-date" configuration of every experiment). *)
+
+val set_hook : t -> hook option -> unit
+(** Install (or remove) the change hook.  {!copy} never carries the hook
+    over — copies are inert data shipped in messages.  With no hook the
+    per-update overhead is one branch. *)
 
 val num_sites : t -> int
 val get : t -> int -> entry
@@ -55,4 +64,8 @@ val merge_failure : t -> int list -> unit
 
 val equal : t -> t -> bool
 val pp_state : Format.formatter -> state -> unit
+
+val state_name : state -> string
+(** ["up"], ["down"], ["waiting"] or ["terminating"]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ module Engine = Raid_net.Engine
 module Database = Raid_storage.Database
 module Update_log = Raid_storage.Update_log
 module Wal = Raid_storage.Wal
+module Obs = Raid_obs.Trace
 
 let log_src = Logs.Src.create "raid.site" ~doc:"RAID site state machine"
 
@@ -19,6 +20,9 @@ type coord = {
   started_at : Vtime.t;
   writes : Database.write list;
   mutable phase : phase;
+  mutable phase_entered_at : Vtime.t;
+      (* when the current phase began; drives the per-phase latency
+         samples (Metrics.phase_*_ms) and the trace's nested spans *)
   mutable copier_requests : int;
   mutable copier_items : int;
   mutable cleared_items : int list;
@@ -62,13 +66,24 @@ type t = {
   coords : (int, coord) Hashtbl.t;  (* in-flight coordinated transactions *)
   mutable batch : batch option;
   mutable batch_seq : int;
+  obs : Obs.sink option;
+  mutable obs_ctx : Message.t Engine.ctx option;
+      (* the handler context of the event being processed, so the
+         fail-lock and session-vector change hooks can stamp their trace
+         events; only maintained when [obs] is set *)
 }
 
-let create ~id ~config ~metrics ~on_outcome () =
+(* Current virtual time for hook-driven emissions.  Hooks can only fire
+   inside an event handler (where [obs_ctx] is set); the fallback covers
+   construction-time mutations before any event runs. *)
+let obs_now t = match t.obs_ctx with Some ctx -> Engine.time ctx | None -> Vtime.zero
+
+let create ~id ~config ~metrics ~on_outcome ?obs () =
   if id < 0 || id >= config.Config.num_sites then invalid_arg "Site.create: id out of range";
   let num_items = config.Config.num_items in
   let num_sites = config.Config.num_sites in
   let stored item = Config.stores config ~site:id ~item in
+  let t =
   {
     id;
     config;
@@ -93,7 +108,32 @@ let create ~id ~config ~metrics ~on_outcome () =
     coords = Hashtbl.create 4;
     batch = None;
     batch_seq = 0;
+    obs;
+    obs_ctx = None;
   }
+  in
+  (* Fail-lock and session-vector changes are traced via change hooks on
+     the data structures themselves, so every mutation path (commit
+     updates, copier clears, control transactions, state installation) is
+     covered without instrumenting each caller. *)
+  (match obs with
+  | None -> ()
+  | Some sink ->
+    Faillock.set_hook t.faillocks
+      (Some
+         (fun ~item ~site ~locked ->
+           let event =
+             if locked then Obs.Faillock_set { item; for_site = site }
+             else Obs.Faillock_cleared { item; for_site = site }
+           in
+           sink.Obs.emit ~at:(obs_now t) ~site:t.id event));
+    Session.set_hook t.vector
+      (Some
+         (fun ~site ~session ~state ->
+           sink.Obs.emit ~at:(obs_now t) ~site:t.id
+             (Obs.Session_change
+                { about = site; session; state = Session.state_name state }))));
+  t
 
 let id t = t.id
 let database t = t.db
@@ -129,6 +169,17 @@ let ms_of = Vtime.to_ms
 let operational_others t = Session.operational_except t.vector t.id
 let faillocks_on t = t.config.Config.faillocks_enabled
 
+(* Tracing helpers.  [emit] takes the event pre-built, so call sites
+   that would allocate to describe the event guard on [tracing] first —
+   with tracing off the only cost on any protocol path is a [None]
+   match. *)
+let tracing t = match t.obs with Some _ -> true | None -> false
+
+let emit t ctx event =
+  match t.obs with
+  | None -> ()
+  | Some sink -> sink.Obs.emit ~at:(Engine.time ctx) ~site:t.id event
+
 (* An operational site (other than this one) holding an up-to-date copy
    of [item], per this site's fail-lock table and placement view. *)
 let find_source t item =
@@ -147,7 +198,16 @@ let announce_failures t ctx failed =
       (fun r -> Engine.send ctx r (Message.Failure_announce { failed = fresh }))
       receivers;
     t.metrics.Metrics.control2_announcements <-
-      t.metrics.Metrics.control2_announcements + List.length receivers
+      t.metrics.Metrics.control2_announcements + List.length receivers;
+    if tracing t then
+      emit t ctx
+        (Obs.Control
+           {
+             kind = Obs.Failure_announce;
+             detail =
+               Printf.sprintf "sites [%s] down"
+                 (String.concat ";" (List.map string_of_int fresh));
+           })
   end
 
 (* Commit-time fail-lock maintenance (paper §1.2): for each written item,
@@ -220,13 +280,21 @@ let install_refreshed t ctx ~round writes =
 (* The special transaction informing other sites of fail-lock bits cleared
    by copier transactions. *)
 let broadcast_clears t ctx items =
-  if items <> [] then
+  if items <> [] then begin
     List.iter
       (fun r ->
         Engine.work ctx t.cost.Cost_model.faillock_clear_send;
         Engine.send ctx r (Message.Faillocks_cleared { site = t.id; items });
         t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1)
-      (operational_others t)
+      (operational_others t);
+    if tracing t then
+      emit t ctx
+        (Obs.Control
+           {
+             kind = Obs.Clear_special;
+             detail = Printf.sprintf "%d items" (List.length items);
+           })
+  end
 
 (* {2 Two-step recovery (paper §3.2 extension)} *)
 
@@ -264,7 +332,11 @@ let rec start_batch_round t ctx =
             (fun (source, items) ->
               Engine.work ctx t.cost.Cost_model.copier_request_send;
               Engine.send ctx source (Message.Copy_request { txn = round_id; items });
-              t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1)
+              t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1;
+              if tracing t then
+                emit t ctx
+                  (Obs.Copier_request
+                     { txn = round_id; source; items = List.length items }))
             groups;
           t.batch <- Some { round_id; pending_sources = List.map fst groups };
           t.metrics.Metrics.batch_copier_rounds <- t.metrics.Metrics.batch_copier_rounds + 1
@@ -304,7 +376,14 @@ let maybe_spawn_backups t ctx writes =
               (operational_others t);
             t.placement.(target).(item) <- true;
             if target = t.id then Database.materialize t.db write;
-            t.metrics.Metrics.control3_backups <- t.metrics.Metrics.control3_backups + 1
+            t.metrics.Metrics.control3_backups <- t.metrics.Metrics.control3_backups + 1;
+            if tracing t then
+              emit t ctx
+                (Obs.Control
+                   {
+                     kind = Obs.Backup;
+                     detail = Printf.sprintf "item %d to site %d" item target;
+                   })
         end
         | _ -> ())
       writes
@@ -321,7 +400,22 @@ let finish t ctx coord ~committed ~abort_reason ~reads =
     else
       t.metrics.Metrics.coordinator_ms <- ms_of elapsed :: t.metrics.Metrics.coordinator_ms
   end
-  else t.metrics.Metrics.txns_aborted <- t.metrics.Metrics.txns_aborted + 1;
+  else begin
+    t.metrics.Metrics.txns_aborted <- t.metrics.Metrics.txns_aborted + 1;
+    t.metrics.Metrics.abort_ms <- ms_of elapsed :: t.metrics.Metrics.abort_ms
+  end;
+  if tracing t then
+    emit t ctx
+      (if committed then Obs.Txn_commit { txn = coord.txn.Txn.id }
+       else
+         Obs.Txn_abort
+           {
+             txn = coord.txn.Txn.id;
+             reason =
+               (match abort_reason with
+               | Some r -> Format.asprintf "%a" Metrics.pp_abort_reason r
+               | None -> "unknown");
+           });
   Hashtbl.remove t.coords coord.txn.Txn.id;
   t.on_outcome
     {
@@ -350,6 +444,12 @@ let collect_reads t coord =
     (Txn.read_items coord.txn)
 
 let local_commit t ctx coord =
+  (match coord.phase with
+  | Committing _ ->
+    t.metrics.Metrics.phase_commit_ms <-
+      ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
+      :: t.metrics.Metrics.phase_commit_ms
+  | Copying _ | Preparing _ -> ());
   apply_writes t ctx ~txn:coord.txn.Txn.id coord.writes;
   faillock_commit_update t ctx coord.writes;
   let reads = collect_reads t coord in
@@ -360,6 +460,12 @@ let local_commit t ctx coord =
 (* Begin phase 1: "issue copy update for written items to every
    operational site". *)
 let begin_phase1 t ctx coord =
+  (* Close the copier phase: only transactions that actually ran a copier
+     round contribute a phase-copy sample (and span). *)
+  if coord.copier_requests > 0 then
+    t.metrics.Metrics.phase_copy_ms <-
+      ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
+      :: t.metrics.Metrics.phase_copy_ms;
   (* Every operational site participates, even one storing none of the
      written items: fail-locks are fully replicated (paper §1.1), so every
      site must see the commit to maintain its table. *)
@@ -367,6 +473,13 @@ let begin_phase1 t ctx coord =
   if participants = [] then local_commit t ctx coord
   else begin
     coord.phase <- Preparing { participants; pending_acks = participants };
+    coord.phase_entered_at <- Engine.time ctx;
+    if tracing t then begin
+      emit t ctx (Obs.Phase_enter { txn = coord.txn.Txn.id; phase = Obs.Prepare });
+      emit t ctx
+        (Obs.Prepare_sent
+           { txn = coord.txn.Txn.id; participants = List.length participants })
+    end;
     let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
     List.iter
       (fun p ->
@@ -401,6 +514,7 @@ let begin_txn t ctx txn =
       started_at;
       writes;
       phase = Copying { pending_sources = [] };
+      phase_entered_at = started_at;
       copier_requests = 0;
       copier_items = 0;
       cleared_items = [];
@@ -409,6 +523,14 @@ let begin_txn t ctx txn =
     }
   in
   Hashtbl.replace t.coords txn.Txn.id coord;
+  if tracing t then
+    emit t ctx
+      (Obs.Txn_begin
+         {
+           txn = txn.Txn.id;
+           reads = List.length (Txn.read_items txn);
+           writes = List.length writes;
+         });
   (* Under partial replication a written item must have at least one
      operational holder, or the update would be installed nowhere. *)
   let write_unavailable =
@@ -438,6 +560,17 @@ let begin_txn t ctx txn =
   in
   let needed = List.filter needs_copier needed in
   List.iter (fun item -> Hashtbl.replace coord.fetch_only item ()) fetch_only;
+  if tracing t then begin
+    List.iter
+      (fun item ->
+        emit t ctx
+          (Obs.Txn_read
+             { txn = txn.Txn.id; item; remote = Hashtbl.mem coord.fetch_only item }))
+      (Txn.read_items txn);
+    List.iter
+      (fun { Database.item; _ } -> emit t ctx (Obs.Txn_write { txn = txn.Txn.id; item }))
+      writes
+  end;
   let to_fetch = needed @ fetch_only in
   if to_fetch = [] then begin_phase1 t ctx coord
   else begin
@@ -451,14 +584,21 @@ let begin_txn t ctx txn =
         ~reads:[]
     end
     else begin
+      if tracing t then
+        emit t ctx (Obs.Phase_enter { txn = txn.Txn.id; phase = Obs.Copy });
       List.iter
         (fun (source, items) ->
           Engine.work ctx t.cost.Cost_model.copier_request_send;
           Engine.send ctx source (Message.Copy_request { txn = txn.Txn.id; items });
           coord.copier_requests <- coord.copier_requests + 1;
-          t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1)
+          t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1;
+          if tracing t then
+            emit t ctx
+              (Obs.Copier_request
+                 { txn = txn.Txn.id; source; items = List.length items }))
         groups;
-      coord.phase <- Copying { pending_sources = List.map fst groups }
+      coord.phase <- Copying { pending_sources = List.map fst groups };
+      coord.phase_entered_at <- Engine.time ctx
     end
   end
   end
@@ -468,10 +608,13 @@ let abort_txn t ctx coord ~reason ~notify =
      bits our copier transactions cleared, so other sites do not keep
      stale bits for this site. *)
   let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
-  if notify || cleared <> [] then
+  if notify || cleared <> [] then begin
     List.iter
       (fun p -> Engine.send ctx p (Message.Abort { txn = coord.txn.Txn.id; cleared }))
       (operational_others t);
+    if notify && tracing t then
+      emit t ctx (Obs.Decide { txn = coord.txn.Txn.id; commit = false })
+  end;
   finish t ctx coord ~committed:false ~abort_reason:(Some reason) ~reads:[]
 
 (* {2 The event handler} *)
@@ -479,6 +622,8 @@ let abort_txn t ctx coord ~reason ~notify =
 let current_coord t txn_id = Hashtbl.find_opt t.coords txn_id
 
 let handle_copy_reply t ctx ~txn ~writes ~src =
+  if tracing t then
+    emit t ctx (Obs.Copier_reply { txn; source = src; items = List.length writes });
   if txn < 0 then begin
     (* Batch copier round (two-step recovery). *)
     match t.batch with
@@ -534,7 +679,8 @@ let handle_prepare t ctx ~txn ~writes ~cleared ~src =
   Hashtbl.replace t.pending_prepares txn writes;
   Hashtbl.replace t.participant_started txn (Engine.time ctx);
   Engine.work ctx t.cost.Cost_model.prepare_process;
-  Engine.send ctx src (Message.Prepare_ack { txn })
+  Engine.send ctx src (Message.Prepare_ack { txn });
+  if tracing t then emit t ctx (Obs.Vote { txn; participant = t.id })
 
 let handle_commit t ctx ~txn ~src =
   match Hashtbl.find_opt t.pending_prepares txn with
@@ -563,8 +709,16 @@ let handle_prepare_ack t ctx ~txn ~src =
       Engine.work ctx t.cost.Cost_model.ack_process;
       p.pending_acks <- List.filter (fun s -> s <> src) p.pending_acks;
       if p.pending_acks = [] then begin
+        t.metrics.Metrics.phase_prepare_ms <-
+          ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
+          :: t.metrics.Metrics.phase_prepare_ms;
         (* Phase 2 goes to exactly the phase-1 participants. *)
         coord.phase <- Committing { pending_acks = p.participants };
+        coord.phase_entered_at <- Engine.time ctx;
+        if tracing t then begin
+          emit t ctx (Obs.Decide { txn; commit = true });
+          emit t ctx (Obs.Phase_enter { txn; phase = Obs.Commit })
+        end;
         List.iter (fun s -> Engine.send ctx s (Message.Commit { txn })) p.participants
       end
     | Copying _ | Committing _ -> ()
@@ -637,7 +791,14 @@ let begin_recovery t ctx =
        dead sites just produce ignorable send failures).  The designated
        candidate also ships its state. *)
     let others = List.filter (fun s -> s <> designated) all_others in
-    send_announcements t ctx ~new_session ~designated ~others
+    send_announcements t ctx ~new_session ~designated ~others;
+    if tracing t then
+      emit t ctx
+        (Obs.Control
+           {
+             kind = Obs.Recovery;
+             detail = Printf.sprintf "announce session %d" new_session;
+           })
 
 let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
   Session.mark_up t.vector site ~session;
@@ -662,7 +823,14 @@ let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
           (t.cost.Cost_model.recovery_state_build_base
           + (num_items * t.cost.Cost_model.recovery_state_build_per_item)
           + t.cost.Cost_model.message_latency)
-        :: t.metrics.Metrics.control1_operational_ms
+        :: t.metrics.Metrics.control1_operational_ms;
+      if tracing t then
+        emit t ctx
+          (Obs.Control
+             {
+               kind = Obs.Recovery;
+               detail = Printf.sprintf "serve state to site %d" src;
+             })
     end
   end
 
@@ -681,6 +849,8 @@ let handle_recovery_state t ctx ~vector ~faillocks ~placement =
     t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1;
     t.metrics.Metrics.control1_recovering_ms <-
       ms_of (Vtime.sub (Engine.time ctx) started_at) :: t.metrics.Metrics.control1_recovering_ms;
+    if tracing t then
+      emit t ctx (Obs.Control { kind = Obs.Recovery; detail = "state installed" });
     (* The donor's vector predates any failures we witnessed while
        waiting (e.g. a dead designated donor): re-apply them through
        control transaction type 2. *)
@@ -870,6 +1040,7 @@ let handle_message t ctx ~src payload =
     end
 
 let handler t ctx event =
+  if tracing t then t.obs_ctx <- Some ctx;
   match event with
   | Engine.Message { src; payload } -> handle_message t ctx ~src payload
   | Engine.Send_failed { dst; payload } -> handle_send_failed t ctx ~dst ~payload

@@ -32,11 +32,15 @@ val create :
   config:Config.t ->
   metrics:Metrics.t ->
   on_outcome:(Metrics.outcome -> unit) ->
+  ?obs:Raid_obs.Trace.sink ->
   unit ->
   t
 (** A fresh site in the initial consistent state (database of zeros,
     everything up, no fail-locks).  [on_outcome] fires once per database
-    transaction this site coordinates, committed or aborted.
+    transaction this site coordinates, committed or aborted.  [obs], when
+    given, receives the typed protocol trace ({!Raid_obs.Trace.event})
+    this site emits; without it tracing costs one [None] branch per
+    emission point.
     @raise Invalid_argument if [id] is outside [0, num_sites). *)
 
 val handler : t -> Message.t Raid_net.Engine.handler

@@ -35,11 +35,13 @@ type live_counters = {
 }
 
 (* Internal scheduled actions.  [Arrive] evaluates deliverability at
-   arrival time; [Notify_failure] is the sender-side timeout; [Fire] is a
-   local timer.  The [(at, seq)] ordering keys live unboxed inside
+   arrival time and carries the send time so a failed delivery can be
+   notified exactly [failure_timeout] after the send regardless of the
+   link's latency; [Notify_failure] is the sender-side timeout; [Fire] is
+   a local timer.  The [(at, seq)] ordering keys live unboxed inside
    [Heap.Prio]; no per-event wrapper record is allocated. *)
 type 'm action =
-  | Arrive of { src : int; dst : int; payload : 'm }
+  | Arrive of { src : int; dst : int; payload : 'm; sent : Vtime.t }
   | Notify_failure of { src : int; dst : int; payload : 'm }
   | Fire of { dst : int; payload : 'm }
 
@@ -167,7 +169,7 @@ let submit t ~at ~src ~dst payload =
   t.live.live_sent <- t.live.live_sent + 1;
   if src >= 0 then t.sent_by.(src) <- t.sent_by.(src) + 1;
   let latency = if src >= 0 then t.latencies.(src).(dst) else t.message_latency in
-  schedule t (Vtime.add at latency) (Arrive { src; dst; payload })
+  schedule t (Vtime.add at latency) (Arrive { src; dst; payload; sent = at })
 
 let inject t ~dst payload = submit t ~at:t.clock ~src:external_source ~dst payload
 
@@ -205,7 +207,7 @@ let step t =
     let action = Heap.Prio.pop_min t.queue in
     t.clock <- at;
     (match action with
-    | Arrive { src; dst; payload } ->
+    | Arrive { src; dst; payload; sent } ->
       if deliverable t ~src ~dst then begin
         t.live.live_delivered <- t.live.live_delivered + 1;
         t.delivered_to.(dst) <- t.delivered_to.(dst) + 1;
@@ -216,10 +218,12 @@ let step t =
         t.live.live_undeliverable <- t.live.live_undeliverable + 1;
         record_trace t ~time:at ~src ~dst ~payload ~outcome:Undeliverable;
         if src >= 0 then
-          (* The sender times out [failure_timeout] after the send, i.e.
-             [failure_timeout - latency] after the failed arrival. *)
-          schedule t
-            (Vtime.add at (Vtime.sub t.failure_timeout t.message_latency))
+          (* The sender times out [failure_timeout] after the actual send
+             time, independent of the link's latency.  Deliverability is
+             only evaluated at arrival, so on a link slower than the
+             timeout the notification is clamped to the arrival time by
+             [schedule] (never earlier than the failure is detectable). *)
+          schedule t (Vtime.add sent t.failure_timeout)
             (Notify_failure { src; dst; payload })
       end
     | Notify_failure { src; dst; payload } ->
@@ -234,14 +238,20 @@ let step t =
   end
 
 let run ?(max_events = 10_000_000) t =
+  (* The emptiness check comes before the budget check: an already
+     quiescent engine returns cleanly even with [max_events = 0]. *)
   let rec loop remaining =
-    if remaining = 0 then
-      failwith
-        (Format.asprintf
-           "Engine.run: max_events (%d) exceeded (livelock?): stuck at virtual time %a with %d \
-            pending events"
-           max_events Vtime.pp t.clock (Heap.Prio.size t.queue))
-    else if step t then loop (remaining - 1)
+    if not (Heap.Prio.is_empty t.queue) then
+      if remaining = 0 then
+        failwith
+          (Format.asprintf
+             "Engine.run: max_events (%d) exceeded (livelock?): stuck at virtual time %a with %d \
+              pending events"
+             max_events Vtime.pp t.clock (Heap.Prio.size t.queue))
+      else begin
+        ignore (step t);
+        loop (remaining - 1)
+      end
   in
   loop max_events
 

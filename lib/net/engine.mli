@@ -23,7 +23,11 @@ type 'm event =
           messages (the managing site). *)
   | Send_failed of { dst : int; payload : 'm }
       (** The message this site sent to [dst] could not be delivered; the
-          notification arrives [failure_timeout] after the send. *)
+          notification arrives [failure_timeout] after the {e send},
+          whatever the link's latency.  On a link slower than the timeout
+          it arrives at the failed delivery's evaluation time instead
+          (the engine cannot know the fate of a message before its
+          arrival time). *)
   | Timer of 'm
       (** A timer set by this site has fired. *)
 
@@ -133,7 +137,8 @@ val run : ?max_events:int -> 'm t -> unit
 (** Process events until quiescent.  @raise Failure if more than
     [max_events] (default 10_000_000) events are processed — a guard
     against protocol livelock in tests; the message reports the stuck
-    virtual time and the pending-event count. *)
+    virtual time and the pending-event count.  An already quiescent
+    engine returns cleanly for any budget, including [max_events:0]. *)
 
 val pending_events : _ t -> int
 

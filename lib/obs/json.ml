@@ -1,0 +1,257 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+let escape buffer s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | '\r' -> Buffer.add_string buffer "\\r"
+      | '\t' -> Buffer.add_string buffer "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buffer c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(indent = false) t =
+  let buffer = Buffer.create 1024 in
+  let pad depth = if indent then Buffer.add_string buffer (String.make (2 * depth) ' ') in
+  let newline () = if indent then Buffer.add_char buffer '\n' in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buffer "null"
+    | Bool b -> Buffer.add_string buffer (if b then "true" else "false")
+    | Int n -> Buffer.add_string buffer (string_of_int n)
+    | Float f -> Buffer.add_string buffer (float_repr f)
+    | Str s ->
+      Buffer.add_char buffer '"';
+      escape buffer s;
+      Buffer.add_char buffer '"'
+    | Arr [] -> Buffer.add_string buffer "[]"
+    | Arr items ->
+      Buffer.add_char buffer '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buffer ',';
+            newline ()
+          end;
+          pad (depth + 1);
+          emit (depth + 1) item)
+        items;
+      newline ();
+      pad depth;
+      Buffer.add_char buffer ']'
+    | Obj [] -> Buffer.add_string buffer "{}"
+    | Obj members ->
+      Buffer.add_char buffer '{';
+      newline ();
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then begin
+            Buffer.add_char buffer ',';
+            newline ()
+          end;
+          pad (depth + 1);
+          Buffer.add_char buffer '"';
+          escape buffer key;
+          Buffer.add_string buffer (if indent then "\": " else "\":");
+          emit (depth + 1) value)
+        members;
+      newline ();
+      pad depth;
+      Buffer.add_char buffer '}'
+  in
+  emit 0 t;
+  Buffer.contents buffer
+
+exception Parse_error of int * string
+
+let parse input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let fail message = raise (Parse_error (!pos, message)) in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match input.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some found when found = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub input !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buffer = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match input.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape"
+           else
+             match input.[!pos] with
+             | '"' -> Buffer.add_char buffer '"'; advance ()
+             | '\\' -> Buffer.add_char buffer '\\'; advance ()
+             | '/' -> Buffer.add_char buffer '/'; advance ()
+             | 'n' -> Buffer.add_char buffer '\n'; advance ()
+             | 'r' -> Buffer.add_char buffer '\r'; advance ()
+             | 't' -> Buffer.add_char buffer '\t'; advance ()
+             | 'b' -> Buffer.add_char buffer '\b'; advance ()
+             | 'f' -> Buffer.add_char buffer '\012'; advance ()
+             | 'u' ->
+               advance ();
+               if !pos + 4 > n then fail "truncated \\u escape";
+               let hex = String.sub input !pos 4 in
+               let code =
+                 match int_of_string_opt ("0x" ^ hex) with
+                 | Some c -> c
+                 | None -> fail "bad \\u escape"
+               in
+               pos := !pos + 4;
+               (* Re-encode the code point as UTF-8 (surrogate pairs are
+                  not needed for anything this library emits). *)
+               if code < 0x80 then Buffer.add_char buffer (Char.chr code)
+               else if code < 0x800 then begin
+                 Buffer.add_char buffer (Char.chr (0xC0 lor (code lsr 6)));
+                 Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+               end
+               else begin
+                 Buffer.add_char buffer (Char.chr (0xE0 lor (code lsr 12)));
+                 Buffer.add_char buffer (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                 Buffer.add_char buffer (Char.chr (0x80 lor (code land 0x3F)))
+               end
+             | c -> fail (Printf.sprintf "bad escape %C" c));
+          loop ()
+        | c ->
+          Buffer.add_char buffer c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buffer
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    while
+      !pos < n
+      &&
+      match input.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' | '+' | '-' ->
+        is_float := true;
+        true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let text = String.sub input start (!pos - start) in
+    if !is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, value) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((key, value) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let value = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (value :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (value :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (elements [])
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error (at, message) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" at message)
+
+let member key = function
+  | Obj members -> List.assoc_opt key members
+  | _ -> None
+
+let to_list = function Arr items -> items | _ -> []

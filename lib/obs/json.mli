@@ -1,0 +1,31 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The exporters in {!Trace_export} only need to {e emit} JSON, but the
+    golden tests and the CI determinism check also need to read exported
+    traces back without an external dependency, so the parser lives here
+    too.  Output is deterministic: object members are printed in the
+    order given, numbers as OCaml [%d]/[%.17g]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Compact by default; [~indent:true] pretty-prints with two-space
+    indentation (what the Chrome exporter uses so traces diff well). *)
+
+val parse : string -> (t, string) result
+(** Strict parser for the subset this library emits plus standard JSON
+    escapes; numbers with a fraction or exponent become [Float], others
+    [Int].  Errors carry a character offset. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] — [None] on a missing key or a non-object. *)
+
+val to_list : t -> t list
+(** Elements of an [Arr]; [] for any other constructor. *)

@@ -1,0 +1,125 @@
+module Vtime = Raid_net.Vtime
+
+type phase = Copy | Prepare | Commit
+
+type control_kind = Recovery | Failure_announce | Backup | Clear_special
+
+type event =
+  | Txn_begin of { txn : int; reads : int; writes : int }
+  | Txn_read of { txn : int; item : int; remote : bool }
+  | Txn_write of { txn : int; item : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : string }
+  | Phase_enter of { txn : int; phase : phase }
+  | Prepare_sent of { txn : int; participants : int }
+  | Vote of { txn : int; participant : int }
+  | Decide of { txn : int; commit : bool }
+  | Faillock_set of { item : int; for_site : int }
+  | Faillock_cleared of { item : int; for_site : int }
+  | Session_change of { about : int; session : int; state : string }
+  | Control of { kind : control_kind; detail : string }
+  | Copier_request of { txn : int; source : int; items : int }
+  | Copier_reply of { txn : int; source : int; items : int }
+
+type entry = { at : Vtime.t; site : int; event : event }
+
+type sink = { emit : at:Vtime.t -> site:int -> event -> unit }
+
+type t = {
+  capacity : int;
+  buffer : entry option array;
+  mutable emitted : int;  (* total, including overwritten slots *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; emitted = 0 }
+
+let sink t =
+  {
+    emit =
+      (fun ~at ~site event ->
+        t.buffer.(t.emitted mod t.capacity) <- Some { at; site; event };
+        t.emitted <- t.emitted + 1);
+  }
+
+let emitted t = t.emitted
+let dropped t = max 0 (t.emitted - t.capacity)
+
+let entries t =
+  let count = min t.emitted t.capacity in
+  let first = if t.emitted <= t.capacity then 0 else t.emitted mod t.capacity in
+  List.init count (fun i ->
+      match t.buffer.((first + i) mod t.capacity) with
+      | Some entry -> entry
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buffer 0 t.capacity None;
+  t.emitted <- 0
+
+let phase_name = function Copy -> "copy" | Prepare -> "prepare" | Commit -> "commit"
+
+let control_kind_name = function
+  | Recovery -> "control1-recovery"
+  | Failure_announce -> "control2-failure"
+  | Backup -> "control3-backup"
+  | Clear_special -> "clear-special"
+
+let kind = function
+  | Txn_begin _ -> "txn_begin"
+  | Txn_read _ -> "txn_read"
+  | Txn_write _ -> "txn_write"
+  | Txn_commit _ -> "txn_commit"
+  | Txn_abort _ -> "txn_abort"
+  | Phase_enter _ -> "phase_enter"
+  | Prepare_sent _ -> "prepare_sent"
+  | Vote _ -> "vote"
+  | Decide _ -> "decide"
+  | Faillock_set _ -> "faillock_set"
+  | Faillock_cleared _ -> "faillock_cleared"
+  | Session_change _ -> "session_change"
+  | Control _ -> "control"
+  | Copier_request _ -> "copier_request"
+  | Copier_reply _ -> "copier_reply"
+
+let counts t =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun { event; _ } ->
+      let tag = kind event in
+      Hashtbl.replace table tag (1 + Option.value ~default:0 (Hashtbl.find_opt table tag)))
+    (entries t);
+  List.sort compare (Hashtbl.fold (fun tag count acc -> (tag, count) :: acc) table [])
+
+let pp_event ppf = function
+  | Txn_begin { txn; reads; writes } ->
+    Format.fprintf ppf "txn_begin(T%d,%dr/%dw)" txn reads writes
+  | Txn_read { txn; item; remote } ->
+    Format.fprintf ppf "txn_read(T%d,item %d%s)" txn item (if remote then ",remote" else "")
+  | Txn_write { txn; item } -> Format.fprintf ppf "txn_write(T%d,item %d)" txn item
+  | Txn_commit { txn } -> Format.fprintf ppf "txn_commit(T%d)" txn
+  | Txn_abort { txn; reason } -> Format.fprintf ppf "txn_abort(T%d,%s)" txn reason
+  | Phase_enter { txn; phase } -> Format.fprintf ppf "phase_enter(T%d,%s)" txn (phase_name phase)
+  | Prepare_sent { txn; participants } ->
+    Format.fprintf ppf "prepare_sent(T%d,%d participants)" txn participants
+  | Vote { txn; participant } -> Format.fprintf ppf "vote(T%d,site %d)" txn participant
+  | Decide { txn; commit } ->
+    Format.fprintf ppf "decide(T%d,%s)" txn (if commit then "commit" else "abort")
+  | Faillock_set { item; for_site } ->
+    Format.fprintf ppf "faillock_set(item %d,site %d)" item for_site
+  | Faillock_cleared { item; for_site } ->
+    Format.fprintf ppf "faillock_cleared(item %d,site %d)" item for_site
+  | Session_change { about; session; state } ->
+    Format.fprintf ppf "session_change(site %d,session %d,%s)" about session state
+  | Control { kind; detail } ->
+    Format.fprintf ppf "control(%s%s%s)" (control_kind_name kind)
+      (if detail = "" then "" else ",")
+      detail
+  | Copier_request { txn; source; items } ->
+    Format.fprintf ppf "copier_request(T%d,source %d,%d items)" txn source items
+  | Copier_reply { txn; source; items } ->
+    Format.fprintf ppf "copier_reply(T%d,source %d,%d items)" txn source items
+
+let pp_entry ppf { at; site; event } =
+  Format.fprintf ppf "%9.2f ms site %d %a" (Vtime.to_ms at) site pp_event event

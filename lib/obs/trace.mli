@@ -1,0 +1,88 @@
+(** Typed protocol trace: events, sinks and the ring-buffer collector.
+
+    This is the observability layer over the replicated-copy-control
+    protocol.  Sites emit {!event}s through a {!sink} at the points the
+    paper's three experiments time — transaction begin/read/write/
+    commit/abort, the 2PC prepare/vote/decide steps, fail-lock
+    transitions, session-vector changes, and control/copier
+    transactions.  A {!t} collects entries in a bounded ring buffer
+    stamped with virtual time; {!Trace_export} turns a collection into
+    JSONL or Chrome trace-event JSON.
+
+    Cost discipline: when tracing is off no sink exists, so the emitting
+    code's only overhead is a [match] on an option that is [None] — no
+    event value is ever constructed.  Each cluster owns its own
+    collector (nothing global), so traced runs stay deterministic under
+    {!Raid_par.Pool} fan-out. *)
+
+type phase = Copy | Prepare | Commit
+(** Coordinator-side phases of a transaction: the copier round (when one
+    is needed), 2PC phase 1 and 2PC phase 2. *)
+
+type control_kind = Recovery | Failure_announce | Backup | Clear_special
+(** The paper's control transaction types 1-3 plus the special
+    fail-lock-clear transaction. *)
+
+type event =
+  | Txn_begin of { txn : int; reads : int; writes : int }
+  | Txn_read of { txn : int; item : int; remote : bool }
+      (** [remote] marks a partial-replication fetch-only read. *)
+  | Txn_write of { txn : int; item : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int; reason : string }
+  | Phase_enter of { txn : int; phase : phase }
+  | Prepare_sent of { txn : int; participants : int }
+  | Vote of { txn : int; participant : int }
+      (** Emitted by the participant when it acknowledges phase 1. *)
+  | Decide of { txn : int; commit : bool }
+  | Faillock_set of { item : int; for_site : int }
+  | Faillock_cleared of { item : int; for_site : int }
+  | Session_change of { about : int; session : int; state : string }
+      (** The emitting site's vector entry for site [about] changed. *)
+  | Control of { kind : control_kind; detail : string }
+  | Copier_request of { txn : int; source : int; items : int }
+      (** [txn] is negative for a batch (two-step recovery) round. *)
+  | Copier_reply of { txn : int; source : int; items : int }
+
+type entry = { at : Raid_net.Vtime.t; site : int; event : event }
+(** One emitted event: virtual time and emitting site. *)
+
+type sink = { emit : at:Raid_net.Vtime.t -> site:int -> event -> unit }
+(** Where emitting code writes.  A record of one closure rather than a
+    first-class module: cheap to store, cheap to test. *)
+
+type t
+(** A bounded collector.  When more than [capacity] events are emitted
+    the oldest are dropped (and counted). *)
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 65536 entries.
+    @raise Invalid_argument on a non-positive capacity. *)
+
+val sink : t -> sink
+(** A sink appending into this collector. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first (emission order, which is
+    chronological in virtual time per site). *)
+
+val emitted : t -> int
+(** Total events emitted, including dropped ones. *)
+
+val dropped : t -> int
+
+val clear : t -> unit
+
+(** {2 Names (shared by exporters and reports)} *)
+
+val phase_name : phase -> string
+val control_kind_name : control_kind -> string
+
+val kind : event -> string
+(** Stable snake_case tag of the event constructor ("txn_begin", ...). *)
+
+val counts : t -> (string * int) list
+(** Retained-entry histogram by {!kind}, sorted by tag. *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,177 @@
+module Vtime = Raid_net.Vtime
+
+type message = {
+  msg_at : Vtime.t;
+  msg_src : int;
+  msg_dst : int;
+  msg_label : string;
+  msg_delivered : bool;
+}
+
+let event_fields : Trace.event -> (string * Json.t) list = function
+  | Txn_begin { txn; reads; writes } ->
+    [ ("txn", Json.Int txn); ("reads", Json.Int reads); ("writes", Json.Int writes) ]
+  | Txn_read { txn; item; remote } ->
+    [ ("txn", Json.Int txn); ("item", Json.Int item); ("remote", Json.Bool remote) ]
+  | Txn_write { txn; item } -> [ ("txn", Json.Int txn); ("item", Json.Int item) ]
+  | Txn_commit { txn } -> [ ("txn", Json.Int txn) ]
+  | Txn_abort { txn; reason } -> [ ("txn", Json.Int txn); ("reason", Json.Str reason) ]
+  | Phase_enter { txn; phase } ->
+    [ ("txn", Json.Int txn); ("phase", Json.Str (Trace.phase_name phase)) ]
+  | Prepare_sent { txn; participants } ->
+    [ ("txn", Json.Int txn); ("participants", Json.Int participants) ]
+  | Vote { txn; participant } ->
+    [ ("txn", Json.Int txn); ("participant", Json.Int participant) ]
+  | Decide { txn; commit } -> [ ("txn", Json.Int txn); ("commit", Json.Bool commit) ]
+  | Faillock_set { item; for_site } ->
+    [ ("item", Json.Int item); ("for_site", Json.Int for_site) ]
+  | Faillock_cleared { item; for_site } ->
+    [ ("item", Json.Int item); ("for_site", Json.Int for_site) ]
+  | Session_change { about; session; state } ->
+    [ ("about", Json.Int about); ("session", Json.Int session); ("state", Json.Str state) ]
+  | Control { kind; detail } ->
+    [ ("control", Json.Str (Trace.control_kind_name kind)); ("detail", Json.Str detail) ]
+  | Copier_request { txn; source; items } ->
+    [ ("txn", Json.Int txn); ("source", Json.Int source); ("items", Json.Int items) ]
+  | Copier_reply { txn; source; items } ->
+    [ ("txn", Json.Int txn); ("source", Json.Int source); ("items", Json.Int items) ]
+
+let entry_json ({ at; site; event } : Trace.entry) =
+  Json.Obj
+    (("ts_us", Json.Int (Vtime.to_us at))
+    :: ("site", Json.Int site)
+    :: ("kind", Json.Str (Trace.kind event))
+    :: event_fields event)
+
+let jsonl trace =
+  let buffer = Buffer.create 4096 in
+  List.iter
+    (fun entry ->
+      Buffer.add_string buffer (Json.to_string (entry_json entry));
+      Buffer.add_char buffer '\n')
+    (Trace.entries trace);
+  Buffer.contents buffer
+
+(* {2 Chrome trace-event export} *)
+
+let complete ~name ~cat ~tid ~ts ~dur args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "X");
+      ("ts", Json.Int ts);
+      ("dur", Json.Int dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let instant ~name ~cat ~tid ~ts args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str cat);
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("ts", Json.Int ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let metadata ~name ~tid args =
+  Json.Obj
+    [
+      ("name", Json.Str name);
+      ("ph", Json.Str "M");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+(* Per-coordinated-transaction open state while scanning the entries. *)
+type open_txn = {
+  started : Vtime.t;
+  mutable open_phase : (string * Vtime.t) option;
+  mutable done_phases : (string * Vtime.t * Vtime.t) list;  (* name, start, end; reversed *)
+}
+
+let chrome ?(messages = []) ~num_sites trace =
+  let events = ref [] in
+  let push event = events := event :: !events in
+  push (metadata ~name:"process_name" ~tid:0 [ ("name", Json.Str "raid cluster") ]);
+  for site = 0 to num_sites - 1 do
+    push
+      (metadata ~name:"thread_name" ~tid:site
+         [ ("name", Json.Str (Printf.sprintf "site %d" site)) ])
+  done;
+  let open_txns : (int * int, open_txn) Hashtbl.t = Hashtbl.create 16 in
+  let close_phase state at =
+    match state.open_phase with
+    | None -> ()
+    | Some (name, started) ->
+      state.done_phases <- (name, started, at) :: state.done_phases;
+      state.open_phase <- None
+  in
+  let close_txn ~site ~txn ~at ~outcome args =
+    match Hashtbl.find_opt open_txns (site, txn) with
+    | None -> ()
+    | Some state ->
+      Hashtbl.remove open_txns (site, txn);
+      close_phase state at;
+      push
+        (complete
+           ~name:(Printf.sprintf "T%d" txn)
+           ~cat:"txn" ~tid:site ~ts:(Vtime.to_us state.started)
+           ~dur:(Vtime.to_us (Vtime.sub at state.started))
+           (("txn", Json.Int txn) :: ("outcome", Json.Str outcome) :: args));
+      List.iter
+        (fun (name, started, finished) ->
+          push
+            (complete ~name ~cat:"2pc" ~tid:site ~ts:(Vtime.to_us started)
+               ~dur:(Vtime.to_us (Vtime.sub finished started))
+               [ ("txn", Json.Int txn) ]))
+        (List.rev state.done_phases)
+  in
+  List.iter
+    (fun ({ at; site; event } : Trace.entry) ->
+      let ts = Vtime.to_us at in
+      match event with
+      | Txn_begin { txn; _ } ->
+        Hashtbl.replace open_txns (site, txn)
+          { started = at; open_phase = None; done_phases = [] };
+        push (instant ~name:(Printf.sprintf "begin T%d" txn) ~cat:"txn" ~tid:site ~ts
+                (event_fields event))
+      | Phase_enter { txn; phase } -> begin
+        match Hashtbl.find_opt open_txns (site, txn) with
+        | None -> ()
+        | Some state ->
+          close_phase state at;
+          state.open_phase <- Some (Trace.phase_name phase, at)
+      end
+      | Txn_commit { txn } -> close_txn ~site ~txn ~at ~outcome:"commit" []
+      | Txn_abort { txn; reason } ->
+        close_txn ~site ~txn ~at ~outcome:"abort" [ ("reason", Json.Str reason) ]
+      | Txn_read _ | Txn_write _ -> ()
+      | Vote _ | Decide _ | Prepare_sent _ | Faillock_set _ | Faillock_cleared _
+      | Session_change _ | Control _ | Copier_request _ | Copier_reply _ ->
+        let name =
+          match event with
+          | Control { kind; _ } -> Trace.control_kind_name kind
+          | _ -> Trace.kind event
+        in
+        push (instant ~name ~cat:(Trace.kind event) ~tid:site ~ts (event_fields event)))
+    (Trace.entries trace);
+  List.iter
+    (fun { msg_at; msg_src; msg_dst; msg_label; msg_delivered } ->
+      let name = if msg_delivered then msg_label else "undeliverable: " ^ msg_label in
+      push
+        (instant ~name ~cat:"msg" ~tid:msg_dst ~ts:(Vtime.to_us msg_at)
+           [
+             ("src", Json.Int msg_src);
+             ("dst", Json.Int msg_dst);
+             ("delivered", Json.Bool msg_delivered);
+           ]))
+    messages;
+  Json.to_string ~indent:true (Json.Obj [ ("traceEvents", Json.Arr (List.rev !events)) ])

@@ -21,18 +21,24 @@ let map ?domains f xs =
     let n = Array.length items in
     let results = Array.make n Pending in
     let next = Atomic.make 0 in
+    let poisoned = Atomic.make false in
     (* Workers race on an atomic cursor; each element is claimed exactly
        once and its result lands at its input index, so assembly order
        (and the leftmost-failure choice below) is independent of
-       scheduling. *)
+       scheduling.  Once any element fails, workers stop claiming new
+       work: a poisoned batch does not run its whole tail before the
+       join re-raises (elements already in flight still finish). *)
     let rec worker () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <-
+      if not (Atomic.get poisoned) then begin
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
           (match f items.(i) with
-          | y -> Done y
-          | exception e -> Failed (e, Printexc.get_raw_backtrace ()));
-        worker ()
+          | y -> results.(i) <- Done y
+          | exception e ->
+            results.(i) <- Failed (e, Printexc.get_raw_backtrace ());
+            Atomic.set poisoned true);
+          worker ()
+        end
       end
     in
     let spawned = Array.init (min (domains - 1) (n - 1)) (fun _ -> Domain.spawn worker) in

@@ -39,9 +39,13 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
       which element, so output is identical to the sequential path
       whenever [f] is pure.
     - If one or more applications of [f] raise, the exception of the
-      {e leftmost} failing element is re-raised (with its original
-      backtrace) after all workers have drained — deterministic even
-      though workers finish in nondeterministic real-time order.
+      {e leftmost} failing element among those evaluated is re-raised
+      (with its original backtrace) after all workers have drained — the
+      choice at assembly is deterministic even though workers finish in
+      nondeterministic real-time order.  Recording a failure also stops
+      workers from claiming further elements, so a poisoned batch does
+      not run its whole tail; elements already in flight still complete
+      (which elements were skipped is scheduling-dependent).
 
     [f] must not depend on shared mutable state: elements are evaluated
     concurrently on separate domains.

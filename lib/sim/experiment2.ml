@@ -17,20 +17,20 @@ type t = { result : Runner.result; stats : stats; series : (float * float) list 
 
 let paper_workload = Workload.Uniform { max_ops = 5; write_prob = 0.5 }
 
-let run ?(seed = 15) ?(recovering_weight = 0.05) ?(max_recovery_txns = 1200) () =
+let scenario ?(seed = 15) ?(recovering_weight = 0.05) ?(max_recovery_txns = 1200) () =
   let config = Config.make ~num_sites:2 ~num_items:50 () in
-  let scenario =
-    Scenario.make ~policy:(Scenario.Fixed 1) ~seed ~config ~workload:paper_workload
-      [
-        Scenario.Fail 0;
-        Scenario.Run_txns 100;
-        Scenario.Recover 0;
-        Scenario.Set_policy
-          (Scenario.Weighted [ (0, recovering_weight); (1, 1.0 -. recovering_weight) ]);
-        Scenario.Run_until_recovered { site = 0; max_txns = max_recovery_txns };
-      ]
-  in
-  let result = Runner.run scenario in
+  Scenario.make ~policy:(Scenario.Fixed 1) ~seed ~config ~workload:paper_workload
+    [
+      Scenario.Fail 0;
+      Scenario.Run_txns 100;
+      Scenario.Recover 0;
+      Scenario.Set_policy
+        (Scenario.Weighted [ (0, recovering_weight); (1, 1.0 -. recovering_weight) ]);
+      Scenario.Run_until_recovered { site = 0; max_txns = max_recovery_txns };
+    ]
+
+let run ?seed ?recovering_weight ?max_recovery_txns () =
+  let result = Runner.run (scenario ?seed ?recovering_weight ?max_recovery_txns ()) in
   let series = Runner.series result ~site:0 in
   (* Locks for site 0 over the recovery phase (txn 101 onwards). *)
   let recovery_records =

@@ -32,6 +32,11 @@ type t = {
   series : (float * float) list;  (** Figure 1: (txn number, locks for site 0) *)
 }
 
+val scenario :
+  ?seed:int -> ?recovering_weight:float -> ?max_recovery_txns:int -> unit -> Scenario.t
+(** The declarative scenario behind {!run}, for reuse by other drivers
+    (e.g. {!Tracing}).  Same defaults as {!run}. *)
+
 val run : ?seed:int -> ?recovering_weight:float -> ?max_recovery_txns:int -> unit -> t
 (** Defaults: seed 15, [recovering_weight] 0.05, bound 1200. *)
 

@@ -12,19 +12,15 @@ type t = {
 
 let paper_workload = Workload.Uniform { max_ops = 5; write_prob = 0.5 }
 
-let build ~config ~seed ~paper_aborts actions =
-  let scenario =
-    Scenario.make ~policy:Scenario.Uniform_random ~seed ~config ~workload:paper_workload actions
-  in
+let build ~paper_aborts scenario =
   let result = Runner.run scenario in
-  let series =
-    List.init config.Config.num_sites (fun site -> (site, Runner.series result ~site))
-  in
+  let num_sites = scenario.Scenario.config.Config.num_sites in
+  let series = List.init num_sites (fun site -> (site, Runner.series result ~site)) in
   { result; series; aborted = result.Runner.aborted; paper_aborts }
 
-let scenario1 ?(seed = 43) ?(tail_txns = 70) () =
+let scenario1_scenario ?(seed = 43) ?(tail_txns = 70) () =
   let config = Config.make ~num_sites:2 ~num_items:50 () in
-  build ~config ~seed ~paper_aborts:13
+  Scenario.make ~policy:Scenario.Uniform_random ~seed ~config ~workload:paper_workload
     [
       Scenario.Fail 0;
       Scenario.Run_txns 25;
@@ -35,9 +31,9 @@ let scenario1 ?(seed = 43) ?(tail_txns = 70) () =
       Scenario.Run_txns tail_txns;
     ]
 
-let scenario2 ?(seed = 43) ?(tail_txns = 60) () =
+let scenario2_scenario ?(seed = 43) ?(tail_txns = 60) () =
   let config = Config.make ~num_sites:4 ~num_items:50 () in
-  build ~config ~seed ~paper_aborts:0
+  Scenario.make ~policy:Scenario.Uniform_random ~seed ~config ~workload:paper_workload
     [
       Scenario.Fail 0;
       Scenario.Run_txns 25;
@@ -53,6 +49,12 @@ let scenario2 ?(seed = 43) ?(tail_txns = 60) () =
       Scenario.Recover 3;
       Scenario.Run_txns tail_txns;
     ]
+
+let scenario1 ?seed ?tail_txns () =
+  build ~paper_aborts:13 (scenario1_scenario ?seed ?tail_txns ())
+
+let scenario2 ?seed ?tail_txns () =
+  build ~paper_aborts:0 (scenario2_scenario ?seed ?tail_txns ())
 
 let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
 

@@ -18,6 +18,12 @@ type t = {
   paper_aborts : int;
 }
 
+val scenario1_scenario : ?seed:int -> ?tail_txns:int -> unit -> Scenario.t
+(** The declarative scenario behind {!scenario1} (same defaults). *)
+
+val scenario2_scenario : ?seed:int -> ?tail_txns:int -> unit -> Scenario.t
+(** The declarative scenario behind {!scenario2} (same defaults). *)
+
 val scenario1 : ?seed:int -> ?tail_txns:int -> unit -> t
 (** Figure 2.  [tail_txns] (default 70) transactions after both sites are
     back, as in the paper's 51-120. *)

@@ -24,10 +24,18 @@ type result = {
       (** txn id -> sites alive at completion (for durability checks) *)
 }
 
-val run : ?check_invariants:bool -> Scenario.t -> result
+val run :
+  ?check_invariants:bool ->
+  ?trace:bool ->
+  ?obs:Raid_obs.Trace.sink ->
+  Scenario.t ->
+  result
 (** Execute the scenario.  With [check_invariants] (default true), the
     DESIGN.md invariants are verified after every action and a [Failure]
     is raised on violation — experiments double as protocol tests.
+    [trace] turns on the network engine's message trace; [obs] receives
+    the sites' protocol trace (see {!Tracing} for the assembled
+    pipeline).  Both default to off, which costs nothing.
 
     @raise Invalid_argument if a [Fixed] coordinator is down when a
     transaction must be issued, or no site is operational. *)

@@ -1,0 +1,92 @@
+module Trace = Raid_obs.Trace
+module Trace_export = Raid_obs.Trace_export
+module Cluster = Raid_core.Cluster
+module Metrics = Raid_core.Metrics
+module Message = Raid_core.Message
+module Engine = Raid_net.Engine
+module Stats = Raid_util.Stats
+
+let scenarios =
+  [
+    ("exp2", "Experiment 2: site 0 down for 100 txns, then recovers (Figure 1)");
+    ("exp3-1", "Experiment 3 scenario 1: alternating two-site failures (Figure 2)");
+    ("exp3-2", "Experiment 3 scenario 2: four sites fail singly (Figure 3)");
+  ]
+
+let scenario_of_name ?seed name =
+  match name with
+  | "exp2" -> Ok (Experiment2.scenario ?seed ())
+  | "exp3-1" -> Ok (Experiment3.scenario1_scenario ?seed ())
+  | "exp3-2" -> Ok (Experiment3.scenario2_scenario ?seed ())
+  | other ->
+    Error
+      (Printf.sprintf "unknown scenario %S (available: %s)" other
+         (String.concat ", " (List.map fst scenarios)))
+
+type output = {
+  trace : Trace.t;
+  result : Runner.result;
+  messages : Trace_export.message list;
+  num_sites : int;
+}
+
+let run scenario =
+  let collector = Trace.create () in
+  let result = Runner.run ~trace:true ~obs:(Trace.sink collector) scenario in
+  let engine = Cluster.engine result.Runner.cluster in
+  let messages =
+    List.map
+      (fun (e : Message.t Engine.trace_entry) ->
+        {
+          Trace_export.msg_at = e.Engine.trace_time;
+          msg_src = e.Engine.trace_src;
+          msg_dst = e.Engine.trace_dst;
+          msg_label = Message.describe e.Engine.trace_payload;
+          msg_delivered = (e.Engine.trace_outcome = Engine.Delivered);
+        })
+      (Engine.trace engine)
+  in
+  {
+    trace = collector;
+    result;
+    messages;
+    num_sites = Cluster.num_sites result.Runner.cluster;
+  }
+
+let jsonl output = Trace_export.jsonl output.trace
+
+let chrome output =
+  Trace_export.chrome ~messages:output.messages ~num_sites:output.num_sites output.trace
+
+let summary output =
+  let buffer = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buffer in
+  let metrics = Cluster.metrics output.result.Runner.cluster in
+  Format.fprintf ppf "transactions: %d committed, %d aborted@."
+    output.result.Runner.committed output.result.Runner.aborted;
+  Format.fprintf ppf "trace: %d events emitted, %d dropped, %d messages@.@."
+    (Trace.emitted output.trace) (Trace.dropped output.trace)
+    (List.length output.messages);
+  Format.fprintf ppf "events by kind:@.";
+  List.iter
+    (fun (kind, count) -> Format.fprintf ppf "  %-20s %6d@." kind count)
+    (Trace.counts output.trace);
+  Format.fprintf ppf "@.virtual latencies (ms):@.";
+  List.iter
+    (fun (label, samples) ->
+      if samples <> [] then begin
+        Format.fprintf ppf "  %-22s %a@." label Stats.pp_summary
+          (Stats.summarize samples);
+        if List.length samples >= 5 then
+          Format.fprintf ppf "@[<v 4>    %a@]@." Stats.pp_histogram
+            (Stats.histogram samples)
+      end)
+    (Metrics.latency_groups metrics);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buffer
+
+let render ~format output =
+  match format with
+  | `Jsonl -> jsonl output
+  | `Chrome -> chrome output
+  | `Summary -> summary output

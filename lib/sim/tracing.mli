@@ -1,0 +1,40 @@
+(** Traced scenario runs: the pipeline behind [raid trace].
+
+    Runs a scenario with the protocol trace ({!Raid_obs.Trace}) and the
+    network engine's message trace both enabled, and renders the
+    combined collection in one of three formats:
+
+    - [`Jsonl]: one JSON object per protocol event, for ad-hoc analysis;
+    - [`Chrome]: Chrome trace-event JSON (Perfetto / [chrome://tracing]),
+      one track per site, 2PC phases as spans nested in their
+      transaction's span, message deliveries as instants;
+    - [`Summary]: a text report — event counts by kind plus
+      {!Raid_util.Stats} summaries and histograms of the per-transaction
+      virtual latencies by outcome and by 2PC phase.
+
+    Output is deterministic for a given scenario: byte-identical across
+    runs and [-j] levels (each run owns its collector; nothing is
+    global). *)
+
+val scenarios : (string * string) list
+(** Named scenarios accepted by {!scenario_of_name}, with one-line
+    descriptions (the paper's experiments 2 and 3). *)
+
+val scenario_of_name : ?seed:int -> string -> (Scenario.t, string) result
+
+type output = {
+  trace : Raid_obs.Trace.t;
+  result : Runner.result;
+  messages : Raid_obs.Trace_export.message list;
+      (** engine deliveries, pre-rendered for the chrome export *)
+  num_sites : int;
+}
+
+val run : Scenario.t -> output
+(** Run with tracing enabled (protocol events and engine messages). *)
+
+val jsonl : output -> string
+val chrome : output -> string
+val summary : output -> string
+
+val render : format:[ `Jsonl | `Chrome | `Summary ] -> output -> string

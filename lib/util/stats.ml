@@ -53,6 +53,35 @@ let summarize samples =
     p99 = percentile 0.99 samples;
   }
 
+let histogram ?(bins = 10) samples =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let samples = require_nonempty samples in
+  let lo = List.fold_left Float.min Float.infinity samples in
+  let hi = List.fold_left Float.max Float.neg_infinity samples in
+  if lo = hi then [ (lo, hi, List.length samples) ]
+  else begin
+    let width = (hi -. lo) /. float_of_int bins in
+    let counts = Array.make bins 0 in
+    List.iter
+      (fun x ->
+        let b = min (bins - 1) (int_of_float ((x -. lo) /. width)) in
+        counts.(b) <- counts.(b) + 1)
+      samples;
+    List.init bins (fun b ->
+        (lo +. (float_of_int b *. width), lo +. (float_of_int (b + 1) *. width), counts.(b)))
+  end
+
+let pp_histogram ppf buckets =
+  let peak = List.fold_left (fun acc (_, _, n) -> max acc n) 1 buckets in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun i (lo, hi, n) ->
+      if i > 0 then Format.pp_print_cut ppf ();
+      let bar = String.make (n * 40 / peak) '#' in
+      Format.fprintf ppf "[%8.2f, %8.2f) %6d %s" lo hi n bar)
+    buckets;
+  Format.pp_close_box ppf ()
+
 let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f"
     s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max

@@ -31,6 +31,15 @@ val percentile : float -> float list -> float
     closest ranks.  @raise Invalid_argument on the empty list or [p]
     outside [0,1]. *)
 
+val histogram : ?bins:int -> float list -> (float * float * int) list
+(** Equal-width buckets [(lo, hi, count)] spanning [min, max]; the last
+    bucket is inclusive of the maximum.  A constant sample collapses to
+    one bucket.  Default 10 bins.
+    @raise Invalid_argument on the empty list or non-positive [bins]. *)
+
+val pp_histogram : Format.formatter -> (float * float * int) list -> unit
+(** One bucket per line with an ASCII bar scaled to the fullest bucket. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 (** Incremental accumulator (Welford) for streaming measurement. *)

@@ -87,6 +87,69 @@ let test_send_failed_notification () =
   Alcotest.(check int) "timeout at 36ms" 36_000 !failure_at;
   Alcotest.(check int) "undeliverable counted" 1 (Engine.counters engine).Engine.undeliverable
 
+let test_send_failed_per_link_latency () =
+  (* Regression: the notification must arrive failure_timeout after the
+     send even when the link's latency differs from the engine-wide one.
+     It used to be scheduled at arrival + (timeout - global latency),
+     i.e. skewed by (link latency - global latency). *)
+  let engine =
+    Engine.create ~message_latency:(Vtime.of_ms 9) ~failure_timeout:(Vtime.of_ms 27)
+      ~num_sites:2 ()
+  in
+  Engine.set_link_latency engine 0 1 (Vtime.of_ms 2);
+  let failure_at = ref (-1) in
+  Engine.register engine 0 (fun ctx event ->
+      match event with
+      | Engine.Message _ -> Engine.send ctx 1 Tick
+      | Engine.Send_failed _ -> failure_at := Vtime.to_us (Engine.time ctx)
+      | Engine.Timer _ -> ());
+  Engine.register engine 1 (fun _ _ -> Alcotest.fail "dead site must not receive");
+  Engine.set_alive engine 1 false;
+  Engine.inject engine ~dst:0 Tick;
+  Engine.run engine;
+  (* Send at 9 ms (injection arrival); timeout at 9 + 27 = 36 ms — not
+     9 + 2 + (27 - 9) = 29 ms. *)
+  Alcotest.(check int) "notified at send + failure_timeout" 36_000 !failure_at
+
+let test_send_failed_slow_link_clamped () =
+  (* A link slower than the failure timeout: the engine cannot know the
+     message's fate before evaluating its arrival, so the notification is
+     clamped to the arrival time. *)
+  let engine =
+    Engine.create ~message_latency:(Vtime.of_ms 9) ~failure_timeout:(Vtime.of_ms 27)
+      ~num_sites:2 ()
+  in
+  Engine.set_link_latency engine 0 1 (Vtime.of_ms 40);
+  let failure_at = ref (-1) in
+  Engine.register engine 0 (fun ctx event ->
+      match event with
+      | Engine.Message _ -> Engine.send ctx 1 Tick
+      | Engine.Send_failed _ -> failure_at := Vtime.to_us (Engine.time ctx)
+      | Engine.Timer _ -> ());
+  Engine.register engine 1 (fun _ _ -> Alcotest.fail "dead site must not receive");
+  Engine.set_alive engine 1 false;
+  Engine.inject engine ~dst:0 Tick;
+  Engine.run engine;
+  (* Send at 9 ms, arrival evaluated at 9 + 40 = 49 ms > 9 + 27. *)
+  Alcotest.(check int) "clamped to arrival evaluation" 49_000 !failure_at
+
+let test_run_zero_budget_when_quiescent () =
+  (* Regression: run ~max_events:0 on an engine with an empty queue must
+     return cleanly (the budget check used to precede the emptiness
+     check). *)
+  let engine = Engine.create ~num_sites:1 () in
+  Engine.run ~max_events:0 engine;
+  Engine.register engine 0 (fun _ _ -> ());
+  Engine.inject engine ~dst:0 Tick;
+  Engine.run engine;
+  Engine.run ~max_events:0 engine;
+  Alcotest.(check int) "still quiescent" 0 (Engine.pending_events engine);
+  (* A non-empty queue with a zero budget still trips the guard. *)
+  Engine.inject engine ~dst:0 Tick;
+  match Engine.run ~max_events:0 engine with
+  | () -> Alcotest.fail "guard did not trip on pending work"
+  | exception Failure _ -> ()
+
 let test_injection_to_dead_site_is_silent () =
   let engine = Engine.create ~num_sites:1 () in
   Engine.register engine 0 (fun _ _ -> Alcotest.fail "must not fire");
@@ -204,6 +267,9 @@ let suite =
     Alcotest.test_case "work delays sends" `Quick test_work_delays_sends;
     Alcotest.test_case "FIFO order" `Quick test_fifo_order;
     Alcotest.test_case "send-failed notification" `Quick test_send_failed_notification;
+    Alcotest.test_case "send-failed on fast link" `Quick test_send_failed_per_link_latency;
+    Alcotest.test_case "send-failed on slow link" `Quick test_send_failed_slow_link_clamped;
+    Alcotest.test_case "zero budget when quiescent" `Quick test_run_zero_budget_when_quiescent;
     Alcotest.test_case "silent failed injection" `Quick test_injection_to_dead_site_is_silent;
     Alcotest.test_case "severed link" `Quick test_severed_link;
     Alcotest.test_case "timers and site death" `Quick test_timer_fires_and_respects_death;

@@ -24,6 +24,7 @@ let () =
       ("concurrency", Test_concurrency.suite);
       ("partition", Test_partition.suite);
       ("termination", Test_termination.suite);
+      ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
       ("analysis", Test_analysis.suite);
       ("timeline", Test_timeline.suite);

@@ -35,6 +35,49 @@ let test_exception_propagation () =
            (fun x -> if x >= 3 then failwith (Printf.sprintf "boom-%d" x) else x)
            (List.init 20 Fun.id)))
 
+let test_early_stop_on_failure () =
+  (* Regression: once a worker records a failure, no worker may claim new
+     items (the whole remaining list used to be evaluated just to be
+     discarded).  The first item poisons the run; every other item parks
+     on a gate the poison item opens just before raising, then burns a
+     beat so the pool's failure flag is set well before any worker goes
+     back to the claim loop.  If claiming kept going, (nearly) all items
+     would run; with the stop, only the in-flight handful does. *)
+  let n = 200 in
+  let gate = Atomic.make false in
+  let ran = Atomic.make 0 in
+  (try
+     ignore
+       (Pool.map ~domains:4
+          (fun x ->
+            if x = 0 then begin
+              Atomic.set gate true;
+              failwith "poison"
+            end
+            else begin
+              while not (Atomic.get gate) do
+                Domain.cpu_relax ()
+              done;
+              for _ = 1 to 10_000 do
+                Domain.cpu_relax ()
+              done;
+              Atomic.incr ran;
+              x
+            end)
+          (List.init n Fun.id))
+   with Failure _ -> ());
+  let ran = Atomic.get ran in
+  Alcotest.(check bool)
+    (Printf.sprintf "claiming stopped early (%d of %d ran)" ran (n - 1))
+    true
+    (ran < n / 2);
+  (* The leftmost recorded failure still wins deterministically. *)
+  Alcotest.check_raises "leftmost evaluated failure" (Failure "poison") (fun () ->
+      ignore
+        (Pool.map ~domains:4
+           (fun x -> if x = 0 then failwith "poison" else x)
+           (List.init 50 Fun.id)))
+
 let test_validation () =
   Alcotest.check_raises "zero domains"
     (Invalid_argument "Par.Pool.map: domain count must be at least 1") (fun () ->
@@ -77,6 +120,7 @@ let suite =
     Alcotest.test_case "order preserved" `Quick test_order_preserved;
     Alcotest.test_case "sequential equivalence" `Quick test_sequential_equivalence;
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "early stop on failure" `Quick test_early_stop_on_failure;
     Alcotest.test_case "validation" `Quick test_validation;
     Alcotest.test_case "default domains" `Quick test_default_domains;
     Alcotest.test_case "experiment-2 sweep determinism" `Slow test_experiment2_sweep_deterministic;
