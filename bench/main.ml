@@ -141,6 +141,51 @@ let print_ablations () =
   Table.print (Raid_sim.Concurrent.sweep_table (Raid_sim.Concurrent.sweep ()));
   print_newline ()
 
+(* {2 Steady-state throughput (wall-clock layer)}
+
+   Open-loop transaction streams at two cluster scales, each with a
+   mid-run failure + recovery.  Virtual-time results (txns/vsec, abort
+   rate) are deterministic; the host events/sec figure is this machine's
+   real event-processing rate on the protocol hot path. *)
+
+type throughput_case = {
+  tp_sites : int;
+  tp_items : int;
+  tp_txns_per_vsec : float;
+  tp_abort_rate : float;
+  tp_events : int;
+  tp_wall_s : float;
+}
+
+let print_throughput () =
+  section "Steady-state throughput (open-loop stream; virtual results, host events/sec)";
+  let run_case ~sites ~items ~duration_ms =
+    let failure = Raid_sim.Throughput.default_failure ~sites ~duration_ms in
+    let config = Raid_sim.Throughput.make_config ~sites ~items ~duration_ms ~failure () in
+    let t0 = Unix.gettimeofday () in
+    let results = Raid_sim.Throughput.run_seeds ~seeds:4 config in
+    let wall = Unix.gettimeofday () -. t0 in
+    Table.print (Raid_sim.Throughput.results_table ~config results);
+    let events =
+      List.fold_left (fun acc r -> acc + r.Raid_sim.Throughput.events) 0 results
+    in
+    Printf.printf "  host: %.2f s wall clock, %d events, %.0f events/sec\n\n" wall events
+      (float_of_int events /. wall);
+    let mean f = Raid_util.Stats.mean (List.map f results) in
+    {
+      tp_sites = sites;
+      tp_items = items;
+      tp_txns_per_vsec = mean Raid_sim.Throughput.txns_per_vsec;
+      tp_abort_rate = mean Raid_sim.Throughput.abort_rate;
+      tp_events = events;
+      tp_wall_s = wall;
+    }
+  in
+  [
+    run_case ~sites:16 ~items:500 ~duration_ms:30_000.0;
+    run_case ~sites:64 ~items:5000 ~duration_ms:30_000.0;
+  ]
+
 (* {2 Layer 2: Bechamel host-hardware microbenchmarks} *)
 
 let bench_config ?(faillocks_enabled = true) () =
@@ -191,6 +236,20 @@ let figure_benches =
       (Staged.stage (fun () -> ignore (Raid_sim.Experiment3.scenario2 ())));
   ]
 
+(* The large-cluster hot path the bitset/array structures target: one
+   transaction's full 2PC round trip against 63 participants. *)
+let large_cluster_bench =
+  let config = Config.make ~cost:Cost_model.zero ~num_sites:64 ~num_items:500 () in
+  let cluster = Cluster.create config in
+  let workload =
+    Workload.create (Workload.Uniform { max_ops = 5; write_prob = 0.5 }) ~num_items:500
+      ~rng:(Rng.create 3)
+  in
+  Test.make ~name:"throughput: one txn, 64-site cluster"
+    (Staged.stage (fun () ->
+         let id = Cluster.next_txn_id cluster in
+         ignore (Cluster.submit cluster ~coordinator:0 (Workload.next workload ~id))))
+
 let substrate_benches =
   let faillocks = Faillock.create ~num_items:50 ~num_sites:4 in
   let set_count = ref 0 and cleared = ref 0 in
@@ -220,6 +279,7 @@ let run_bechamel () =
          txn_bench ~name:"table-2.2.1: db txn, fail-locks code included" ~faillocks_enabled:true;
          control_cycle_bench;
          copier_trial_bench;
+         large_cluster_bench;
        ]
       @ figure_benches @ substrate_benches)
   in
@@ -266,11 +326,41 @@ let json_escape s =
 
 let json_float v = if Float.is_finite v then Printf.sprintf "%.3f" v else "null"
 
-let write_json ~bechamel path =
+(* Provenance: which commit produced these numbers, when, on how wide a
+   machine — so BENCH_results.json files are comparable across commits
+   and hosts without external context. *)
+let git_sha () =
+  try
+    let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "unknown" in
+    match Unix.close_process_in ic with Unix.WEXITED 0 -> line | _ -> "unknown"
+  with _ -> "unknown"
+
+let utc_date () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let write_json ~throughput ~bechamel path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
+  out "  \"git_sha\": \"%s\",\n" (json_escape (git_sha ()));
+  out "  \"date_utc\": \"%s\",\n" (utc_date ());
+  out "  \"recommended_domains\": %d,\n" (Pool.recommended_domains ());
   out "  \"jobs\": %d,\n" !jobs;
+  out "  \"throughput\": [\n";
+  List.iteri
+    (fun i c ->
+      out
+        "    {\"sites\": %d, \"items\": %d, \"committed_txns_per_vsec\": %s, \"abort_rate\": \
+         %s, \"events\": %d, \"wall_s\": %s, \"events_per_sec\": %s}%s\n"
+        c.tp_sites c.tp_items (json_float c.tp_txns_per_vsec) (json_float c.tp_abort_rate)
+        c.tp_events (json_float c.tp_wall_s)
+        (json_float (float_of_int c.tp_events /. c.tp_wall_s))
+        (if i = List.length throughput - 1 then "" else ","))
+    throughput;
+  out "  ],\n";
   out "  \"wall_clock_s\": [\n";
   let walls = List.rev !wall_timings in
   List.iteri
@@ -304,5 +394,8 @@ let () =
   print_experiment3 s1 s2;
   timed "ablation grid" print_ablations;
   timed "scaling and robustness sweeps" print_scaling_and_robustness;
+  let throughput = timed "steady-state throughput" print_throughput in
   let bechamel = timed "bechamel microbenchmarks" run_bechamel in
-  match !json_path with None -> () | Some path -> write_json ~bechamel path
+  match !json_path with
+  | None -> ()
+  | Some path -> write_json ~throughput ~bechamel path

@@ -293,6 +293,111 @@ let trace_cmd =
           trace-event JSON, or a latency summary).")
     Term.(const run $ scenario_name $ format $ out $ seed $ jobs)
 
+(* `raid throughput` — steady-state load on a configurable cluster. *)
+let throughput_cmd =
+  let sites =
+    Arg.(value & opt int 16 & info [ "sites" ] ~docv:"N" ~doc:"Number of database sites.")
+  in
+  let items =
+    Arg.(value & opt int 500 & info [ "items" ] ~docv:"N" ~doc:"Database size in data items.")
+  in
+  let max_ops =
+    Arg.(
+      value & opt int 5
+      & info [ "max-ops" ] ~docv:"N" ~doc:"Maximum operations per transaction.")
+  in
+  let write_prob =
+    Arg.(
+      value & opt float 0.5
+      & info [ "write-prob" ] ~docv:"P" ~doc:"Probability that an operation is a write.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 10_000.0
+      & info [ "duration" ] ~docv:"MS" ~doc:"Virtual run length in milliseconds.")
+  in
+  let seeds =
+    Arg.(
+      value & opt int 1
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Number of independent seeds to run (fanned out over -j domains).")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Base PRNG seed.")
+  in
+  let no_failure =
+    Arg.(
+      value & flag
+      & info [ "no-failure" ] ~doc:"Run without the mid-stream failure + recovery.")
+  in
+  let fail_at =
+    Arg.(
+      value & opt (some float) None
+      & info [ "fail-at" ] ~docv:"MS"
+          ~doc:"Fail site 0 at this absolute virtual time (default: duration/5).")
+  in
+  let recover_at =
+    Arg.(
+      value & opt (some float) None
+      & info [ "recover-at" ] ~docv:"MS"
+          ~doc:"Recover the failed site at this absolute virtual time (default: duration/2).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Quick CI run: cap the virtual duration at 1000 ms (failure at 200/500 ms).")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Export the first seed's per-virtual-second trajectory as CSV.")
+  in
+  let run sites items max_ops write_prob duration seeds seed no_failure fail_at recover_at smoke
+      csv jobs =
+    set_jobs jobs;
+    let duration = if smoke then Float.min duration 1000.0 else duration in
+    let failure =
+      if no_failure then None
+      else begin
+        let default = Raid_sim.Throughput.default_failure ~sites ~duration_ms:duration in
+        Some
+          {
+            default with
+            Raid_sim.Throughput.fail_at_ms =
+              Option.value ~default:default.Raid_sim.Throughput.fail_at_ms fail_at;
+            recover_at_ms =
+              Option.value ~default:default.Raid_sim.Throughput.recover_at_ms recover_at;
+          }
+      end
+    in
+    let config =
+      Raid_sim.Throughput.make_config ~sites ~items ~max_ops ~write_prob ~duration_ms:duration
+        ?failure ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Raid_sim.Throughput.run_seeds ~base_seed:seed ~seeds config in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Table.print (Raid_sim.Throughput.results_table ~config results);
+    let events = List.fold_left (fun acc r -> acc + r.Raid_sim.Throughput.events) 0 results in
+    Printf.printf "\nhost: %.2f s wall clock, %d events, %.0f events/sec\n" wall_s events
+      (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    match (csv, results) with
+    | Some path, first :: _ ->
+      Raid_sim.Export.write_file ~path (Raid_sim.Throughput.windows_csv first);
+      Printf.printf "trajectory exported to %s\n" path
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "throughput"
+       ~doc:
+         "Measure steady-state throughput (committed txns per virtual second, abort rate, \
+          host events/sec) under an open-loop stream with a mid-run failure and recovery.")
+    Term.(
+      const run $ sites $ items $ max_ops $ write_prob $ duration $ seeds $ seed $ no_failure
+      $ fail_at $ recover_at $ smoke $ csv $ jobs)
+
 (* `raid concurrency` *)
 let concurrency_cmd =
   let levels =
@@ -334,6 +439,15 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "raid" ~version:"1.2.0" ~doc)
-    [ exp_cmd; ablations_cmd; scaling_cmd; scenario_cmd; trace_cmd; concurrency_cmd; repl_cmd ]
+    [
+      exp_cmd;
+      ablations_cmd;
+      scaling_cmd;
+      scenario_cmd;
+      trace_cmd;
+      throughput_cmd;
+      concurrency_cmd;
+      repl_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

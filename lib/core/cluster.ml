@@ -130,12 +130,13 @@ let outcomes t = List.rev t.outcomes_rev
 (* {2 Oracle views} *)
 
 let faillocks_for t target =
+  let alive = alive_sites t in
   let items = ref [] in
   for item = t.config.Config.num_items - 1 downto 0 do
     let locked =
       List.exists
         (fun s -> Faillock.is_locked (Site.faillocks t.sites.(s)) ~item ~site:target)
-        (alive_sites t)
+        alive
     in
     if locked then items := item :: !items
   done;
@@ -143,12 +144,23 @@ let faillocks_for t target =
 
 let faillock_count_for t target = List.length (faillocks_for t target)
 
-let total_faillocks t =
-  let total = ref 0 in
-  for s = 0 to num_sites t - 1 do
-    total := !total + faillock_count_for t s
+(* All targets in one sweep: per item, union the alive sites' lock
+   bitmaps and bump a count per set bit.  O(items * alive * sites/8)
+   instead of calling [faillock_count_for] once per target
+   (O(items * alive * sites) with a list allocation per item). *)
+let faillock_counts t =
+  let n = num_sites t in
+  let counts = Array.make n 0 in
+  let tables = List.map (fun s -> Site.faillocks t.sites.(s)) (alive_sites t) in
+  let union = Raid_util.Bitset.create n in
+  for item = 0 to t.config.Config.num_items - 1 do
+    Raid_util.Bitset.clear_all union;
+    List.iter (fun fl -> Faillock.union_locked_into ~dst:union fl ~item) tables;
+    Raid_util.Bitset.iter (fun target -> counts.(target) <- counts.(target) + 1) union
   done;
-  !total
+  counts
+
+let total_faillocks t = Array.fold_left ( + ) 0 (faillock_counts t)
 
 let reference_version t item =
   List.fold_left

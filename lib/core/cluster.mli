@@ -102,6 +102,11 @@ val faillocks_for : t -> int -> int list
 
 val faillock_count_for : t -> int -> int
 
+val faillock_counts : t -> int array
+(** [faillock_count_for] for every site in one sweep over the tables —
+    use this when a caller wants the whole per-site profile (the sweep
+    runner samples it after every transaction). *)
+
 val total_faillocks : t -> int
 (** Set bits in the union view, over all items and sites. *)
 

@@ -18,7 +18,7 @@ type t = {
 
 let validate t =
   if t.num_sites <= 0 then invalid_arg "Config: num_sites must be positive";
-  if t.num_sites > 64 then invalid_arg "Config: at most 64 sites supported";
+  if t.num_sites > 1024 then invalid_arg "Config: at most 1024 sites supported";
   if t.num_items <= 0 then invalid_arg "Config: num_items must be positive";
   (match t.replication with
   | Full -> ()

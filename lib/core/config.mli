@@ -74,8 +74,9 @@ val make :
 (** Defaults: calibrated cost model, full replication, on-demand
     recovery, no backup spawning, in-memory durability, separate clear
     transactions (as in the paper), fail-locks enabled.
-    @raise Invalid_argument on non-positive sizes, more than 64 sites
-    (fail-lock bitmaps are per-site bits), a [Partial] map of the wrong
+    @raise Invalid_argument on non-positive sizes, more than 1024 sites
+    (a sanity bound; fail-lock bitmaps are [Bytes]-backed and grow with
+    the site count), a [Partial] map of the wrong
     shape or one leaving an item with no copy, or an out-of-range
     two-step threshold. *)
 

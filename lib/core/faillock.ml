@@ -63,12 +63,25 @@ let locked_items_for t ~site =
   done;
   !locked
 
+(* Allocation-free variant of [locked_items_for]: same items, same
+   increasing order, no list. *)
+let iter_locked_items_for t ~site f =
+  for item = 0 to Array.length t.maps - 1 do
+    if Bitset.mem t.maps.(item) site then f item
+  done
+
+let any_locked_for t ~site =
+  let n = Array.length t.maps in
+  let rec scan item = item < n && (Bitset.mem t.maps.(item) site || scan (item + 1)) in
+  scan 0
+
 let count_for t ~site =
   let count = ref 0 in
   Array.iter (fun m -> if Bitset.mem m site then incr count) t.maps;
   !count
 
 let locked_sites t ~item = Bitset.to_list (map t item)
+let union_locked_into ~dst t ~item = Bitset.union_into ~dst (map t item)
 let any_locked t ~item = not (Bitset.is_empty (map t item))
 
 let clear_sites t ~item ~sites =

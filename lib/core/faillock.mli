@@ -46,12 +46,24 @@ val locked_items_for : t -> site:int -> int list
 (** Items whose bit for [site] is set (a recovering site's out-of-date
     copies), increasing order. *)
 
+val iter_locked_items_for : t -> site:int -> (int -> unit) -> unit
+(** [locked_items_for] without the list: applies the function to each
+    locked item in increasing order. *)
+
+val any_locked_for : t -> site:int -> bool
+(** Is any item fail-locked for [site]?  Stops at the first hit. *)
+
 val count_for : t -> site:int -> int
 (** Number of items fail-locked for a site — the y-axis of the paper's
     figures. *)
 
 val locked_sites : t -> item:int -> int list
 (** Sites that have missed updates on this item. *)
+
+val union_locked_into : dst:Raid_util.Bitset.t -> t -> item:int -> unit
+(** Or this item's lock bitmap into [dst] (an oracle combining several
+    sites' tables in one pass).  @raise Invalid_argument on capacity
+    mismatch. *)
 
 val any_locked : t -> item:int -> bool
 

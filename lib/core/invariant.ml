@@ -19,6 +19,10 @@ let faillocks_track_staleness cluster =
     | [] -> Ok ()
     | s :: rest ->
       let site = Cluster.site cluster s in
+      (* One oracle sweep per site, not one per item: the per-item
+         membership test below must not rebuild the whole list. *)
+      let locked_for_s = Array.make config.Config.num_items false in
+      List.iter (fun item -> locked_for_s.(item) <- true) (Cluster.faillocks_for cluster s);
       let rec check_item item =
         if item >= config.Config.num_items then Ok ()
         else if not (Site.stores site ~item) then check_item (item + 1)
@@ -29,7 +33,7 @@ let faillocks_track_staleness cluster =
              genuinely out of date and must stay fail-locked. *)
           let reference = Cluster.committed_version cluster item in
           let behind = version < reference in
-          let locked = List.mem item (Cluster.faillocks_for cluster s) in
+          let locked = locked_for_s.(item) in
           if behind && not locked then
             fail "site %d item %d is behind (v%d < v%d) but not fail-locked" s item version
               reference

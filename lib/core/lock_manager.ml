@@ -9,7 +9,10 @@ let create ~num_items =
   if num_items < 0 then invalid_arg "Lock_manager.create: negative num_items";
   { table = Hashtbl.create (max 16 num_items); held = Hashtbl.create 16 }
 
-(* Collapse duplicate requests on the same item to the strongest mode. *)
+(* Collapse duplicate requests on the same item to the strongest mode.
+   Sorted by item: [Hashtbl.fold] order is unspecified (and changed
+   across OCaml releases), and the result is stored and compared, so the
+   output order must not depend on hashing internals. *)
 let normalize requests =
   let strongest = Hashtbl.create 8 in
   List.iter
@@ -18,7 +21,9 @@ let normalize requests =
       | Some Exclusive, _ -> ()
       | _, mode -> Hashtbl.replace strongest item mode)
     requests;
-  Hashtbl.fold (fun item mode acc -> (item, mode) :: acc) strongest []
+  List.sort
+    (fun (a, _) (b, _) -> compare (a : int) b)
+    (Hashtbl.fold (fun item mode acc -> (item, mode) :: acc) strongest [])
 
 let compatible ~requested ~holding =
   match (requested, holding) with Shared, Shared -> true | _ -> false

@@ -36,6 +36,11 @@ val try_acquire : t -> txn:int -> (int * mode) list -> bool
 val release_all : t -> txn:int -> unit
 (** Release everything [txn] holds (no-op if it holds nothing). *)
 
+val normalize : (int * mode) list -> (int * mode) list
+(** Collapse duplicate items to the strongest requested mode.  The
+    result is sorted by item — deterministic regardless of request
+    order or hash-table internals. *)
+
 val conflicts : (int * mode) list -> (int * mode) list -> bool
 (** Would these two lock sets conflict?  (Used for the driver's
     id-order admission rule.) *)

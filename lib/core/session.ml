@@ -4,11 +4,13 @@ type entry = { session : int; state : state }
 
 type hook = site:int -> session:int -> state:state -> unit
 
-type t = { entries : entry array; mutable hook : hook option }
+(* [up] caches the number of [Up] entries so the hot path (participant
+   selection on every message) never scans the vector to count. *)
+type t = { entries : entry array; mutable up : int; mutable hook : hook option }
 
 let create ~num_sites =
   if num_sites <= 0 then invalid_arg "Session.create: num_sites must be positive";
-  { entries = Array.make num_sites { session = 1; state = Up }; hook = None }
+  { entries = Array.make num_sites { session = 1; state = Up }; up = num_sites; hook = None }
 
 let set_hook t hook = t.hook <- hook
 
@@ -34,6 +36,11 @@ let set t site entry =
   check t site;
   let before = t.entries.(site) in
   t.entries.(site) <- entry;
+  (match (before.state, entry.state) with
+  | Up, Up -> ()
+  | Up, _ -> t.up <- t.up - 1
+  | _, Up -> t.up <- t.up + 1
+  | _, _ -> ());
   if before <> entry then notify t site entry
 
 let mark_down t site = set t site { (get t site) with state = Down }
@@ -42,6 +49,8 @@ let mark_terminating t site = set t site { (get t site) with state = Terminating
 let mark_up t site ~session = set t site { session; state = Up }
 
 let is_up t site = state t site = Up
+
+let up_count t = t.up
 
 let operational t =
   let up = ref [] in
@@ -52,9 +61,43 @@ let operational t =
 
 let operational_except t site = List.filter (fun s -> s <> site) (operational t)
 
+(* Allocation-free traversal of the [Up] sites, in increasing id order —
+   the same order [operational] returns, so send sequences (and therefore
+   traces) are identical whichever form a caller uses. *)
+let iter_operational t f =
+  for site = 0 to Array.length t.entries - 1 do
+    if t.entries.(site).state = Up then f site
+  done
+
+let iter_operational_except t ~self f =
+  for site = 0 to Array.length t.entries - 1 do
+    if site <> self && t.entries.(site).state = Up then f site
+  done
+
+let operational_count_except t ~self = t.up - (if is_up t self then 1 else 0)
+
+exception Found
+
+let exists_operational t pred =
+  try
+    iter_operational t (fun site -> if pred site then raise Found);
+    false
+  with Found -> true
+
+let first_operational t pred =
+  let found = ref (-1) in
+  (try
+     iter_operational t (fun site ->
+         if pred site then begin
+           found := site;
+           raise Found
+         end)
+   with Found -> ());
+  if !found < 0 then None else Some !found
+
 (* Copies are inert data (shipped inside [Recovery_state] messages); they
    never carry the source's hook. *)
-let copy t = { entries = Array.copy t.entries; hook = None }
+let copy t = { entries = Array.copy t.entries; up = t.up; hook = None }
 
 let install t ~from =
   if Array.length t.entries <> Array.length from.entries then

@@ -46,11 +46,33 @@ val mark_up : t -> int -> session:int -> unit
 
 val is_up : t -> int -> bool
 
+val up_count : t -> int
+(** Number of sites perceived [Up].  O(1): the count is cached and
+    maintained by every state transition. *)
+
 val operational : t -> int list
 (** Sites perceived [Up], in increasing id order. *)
 
 val operational_except : t -> int -> int list
 (** [operational] minus the given site (a coordinator's participants). *)
+
+val iter_operational : t -> (int -> unit) -> unit
+(** Apply to every [Up] site in increasing id order without materialising
+    a list — equivalent to [List.iter f (operational t)]. *)
+
+val iter_operational_except : t -> self:int -> (int -> unit) -> unit
+(** {!iter_operational} skipping [self] — the allocation-free form of
+    [List.iter f (operational_except t self)]. *)
+
+val operational_count_except : t -> self:int -> int
+(** [List.length (operational_except t self)], in O(1). *)
+
+val exists_operational : t -> (int -> bool) -> bool
+(** Does any [Up] site satisfy the predicate?  Stops at the first hit. *)
+
+val first_operational : t -> (int -> bool) -> int option
+(** Lowest-id [Up] site satisfying the predicate — equivalent to
+    [List.find_opt pred (operational t)]. *)
 
 val copy : t -> t
 

@@ -4,16 +4,24 @@ module Database = Raid_storage.Database
 module Update_log = Raid_storage.Update_log
 module Wal = Raid_storage.Wal
 module Obs = Raid_obs.Trace
+module Bitset = Raid_util.Bitset
 
 let log_src = Logs.Src.create "raid.site" ~doc:"RAID site state machine"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* Coordinator phases for the transaction in progress (Appendix A). *)
+(* Coordinator phases for the transaction in progress (Appendix A).
+   Pending sets are site bitsets with an explicit remaining count, so
+   each ack costs O(1) instead of rebuilding an O(sites) list. *)
 type phase =
-  | Copying of { mutable pending_sources : int list }
-  | Preparing of { participants : int list; mutable pending_acks : int list }
-  | Committing of { mutable pending_acks : int list }
+  | Copying of { pending_sources : Bitset.t; mutable remaining : int }
+  | Preparing of {
+      participants : Bitset.t;
+      participant_count : int;
+      pending_acks : Bitset.t;
+      mutable remaining : int;
+    }
+  | Committing of { pending_acks : Bitset.t; mutable remaining : int }
 
 type coord = {
   txn : Txn.t;
@@ -28,13 +36,13 @@ type coord = {
   mutable cleared_items : int list;
       (* items whose own fail-lock a copier cleared; announced by the
          special transaction once all copy replies are in *)
-  mutable remote_reads : (int * int * int) list;
-      (* reads satisfied by a copy reply without a local copy (partial
-         replication fetch-only reads) *)
+  remote_reads : (int, int * int) Hashtbl.t;
+      (* item -> (value, version): reads satisfied by a copy reply without
+         a local copy (partial replication fetch-only reads) *)
   fetch_only : (int, unit) Hashtbl.t;
 }
 
-type batch = { round_id : int; mutable pending_sources : int list }
+type batch = { round_id : int; pending_sources : Bitset.t; mutable remaining : int }
 
 type mode =
   | Normal
@@ -143,7 +151,7 @@ let log t = t.log
 let stores t ~item = t.placement.(t.id).(item)
 let believes_stored t ~site ~item = t.placement.(site).(item)
 let locked_items t = Faillock.locked_items_for t.faillocks ~site:t.id
-let is_recovering t = locked_items t <> []
+let is_recovering t = Faillock.any_locked_for t.faillocks ~site:t.id
 let is_waiting t = match t.mode with Waiting_recovery _ -> true | Normal -> false
 let session_number t = Session.session t.vector t.id
 
@@ -166,7 +174,11 @@ let ms_of = Vtime.to_ms
 
 (* {2 Small helpers} *)
 
-let operational_others t = Session.operational_except t.vector t.id
+(* Operational sites other than this one, visited in increasing id order
+   (the same order [Session.operational_except] listed them in); the
+   iterator form never allocates the list. *)
+let iter_others t f = Session.iter_operational_except t.vector ~self:t.id f
+let count_others t = Session.operational_count_except t.vector ~self:t.id
 let faillocks_on t = t.config.Config.faillocks_enabled
 
 (* Tracing helpers.  [emit] takes the event pre-built, so call sites
@@ -181,11 +193,13 @@ let emit t ctx event =
   | Some sink -> sink.Obs.emit ~at:(Engine.time ctx) ~site:t.id event
 
 (* An operational site (other than this one) holding an up-to-date copy
-   of [item], per this site's fail-lock table and placement view. *)
+   of [item], per this site's fail-lock table and placement view.  The
+   lowest-id match, as [List.find_opt] over the operational list gave. *)
 let find_source t item =
-  List.find_opt
-    (fun s -> t.placement.(s).(item) && not (Faillock.is_locked t.faillocks ~item ~site:s))
-    (operational_others t)
+  Session.first_operational t.vector (fun s ->
+      s <> t.id
+      && t.placement.(s).(item)
+      && not (Faillock.is_locked t.faillocks ~item ~site:s))
 
 (* Control transaction type 2: mark the given sites down and announce the
    failure to the remaining operational sites. *)
@@ -193,12 +207,9 @@ let announce_failures t ctx failed =
   let fresh = List.filter (fun s -> s <> t.id && Session.is_up t.vector s) failed in
   if fresh <> [] then begin
     List.iter (Session.mark_down t.vector) fresh;
-    let receivers = operational_others t in
-    List.iter
-      (fun r -> Engine.send ctx r (Message.Failure_announce { failed = fresh }))
-      receivers;
+    iter_others t (fun r -> Engine.send ctx r (Message.Failure_announce { failed = fresh }));
     t.metrics.Metrics.control2_announcements <-
-      t.metrics.Metrics.control2_announcements + List.length receivers;
+      t.metrics.Metrics.control2_announcements + count_others t;
     if tracing t then
       emit t ctx
         (Obs.Control
@@ -281,12 +292,10 @@ let install_refreshed t ctx ~round writes =
    by copier transactions. *)
 let broadcast_clears t ctx items =
   if items <> [] then begin
-    List.iter
-      (fun r ->
+    iter_others t (fun r ->
         Engine.work ctx t.cost.Cost_model.faillock_clear_send;
         Engine.send ctx r (Message.Faillocks_cleared { site = t.id; items });
-        t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1)
-      (operational_others t);
+        t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1);
     if tracing t then
       emit t ctx
         (Obs.Control
@@ -299,37 +308,48 @@ let broadcast_clears t ctx items =
 (* {2 Two-step recovery (paper §3.2 extension)} *)
 
 (* Group items by an up-to-date source site; items with no available
-   source are dropped. *)
+   source are dropped.  Groups come back in increasing source order with
+   each group's items in request order — a per-site array gives that
+   directly, where the old hashtable needed a sort. *)
 let group_by_source t items =
-  let by_source = Hashtbl.create 4 in
+  let num_sites = Session.num_sites t.vector in
+  let by_source = Array.make num_sites [] in
   List.iter
     (fun item ->
       match find_source t item with
       | None -> ()
-      | Some s ->
-        Hashtbl.replace by_source s
-          (item :: Option.value ~default:[] (Hashtbl.find_opt by_source s)))
+      | Some s -> by_source.(s) <- item :: by_source.(s))
     items;
-  List.sort compare (Hashtbl.fold (fun s items acc -> (s, List.rev items) :: acc) by_source [])
+  let groups = ref [] in
+  for s = num_sites - 1 downto 0 do
+    if by_source.(s) <> [] then groups := (s, List.rev by_source.(s)) :: !groups
+  done;
+  !groups
 
 let rec start_batch_round t ctx =
   match t.config.Config.recovery with
   | Config.On_demand -> ()
   | Config.Two_step { threshold; batch_size } ->
     if t.batch = None && Hashtbl.length t.coords = 0 && t.mode = Normal then begin
-      let locked = locked_items t in
-      let fraction =
-        float_of_int (List.length locked) /. float_of_int t.config.Config.num_items
-      in
-      if locked <> [] && fraction <= threshold then begin
-        let take = List.filteri (fun i _ -> i < batch_size) locked in
+      (* One pass over the fail-lock column: count the locked items and
+         keep the first [batch_size] of them (increasing item order). *)
+      let num_locked = ref 0 in
+      let take_rev = ref [] in
+      Faillock.iter_locked_items_for t.faillocks ~site:t.id (fun item ->
+          incr num_locked;
+          if !num_locked <= batch_size then take_rev := item :: !take_rev);
+      let fraction = float_of_int !num_locked /. float_of_int t.config.Config.num_items in
+      if !num_locked > 0 && fraction <= threshold then begin
+        let take = List.rev !take_rev in
         match group_by_source t take with
         | [] -> ()  (* nothing refreshable right now *)
         | groups ->
           t.batch_seq <- t.batch_seq + 1;
           let round_id = -t.batch_seq in
+          let pending_sources = Bitset.create (Session.num_sites t.vector) in
           List.iter
             (fun (source, items) ->
+              Bitset.set pending_sources source;
               Engine.work ctx t.cost.Cost_model.copier_request_send;
               Engine.send ctx source (Message.Copy_request { txn = round_id; items });
               t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1;
@@ -338,16 +358,19 @@ let rec start_batch_round t ctx =
                   (Obs.Copier_request
                      { txn = round_id; source; items = List.length items }))
             groups;
-          t.batch <- Some { round_id; pending_sources = List.map fst groups };
+          t.batch <- Some { round_id; pending_sources; remaining = List.length groups };
           t.metrics.Metrics.batch_copier_rounds <- t.metrics.Metrics.batch_copier_rounds + 1
       end
     end
 
 and finish_batch_source t ctx b source =
-  b.pending_sources <- List.filter (fun s -> s <> source) b.pending_sources;
-  if b.pending_sources = [] then begin
-    t.batch <- None;
-    start_batch_round t ctx
+  if Bitset.mem b.pending_sources source then begin
+    Bitset.clear b.pending_sources source;
+    b.remaining <- b.remaining - 1;
+    if b.remaining = 0 then begin
+      t.batch <- None;
+      start_batch_round t ctx
+    end
   end
 
 (* {2 Control transaction type 3 (paper §3.2 extension)} *)
@@ -356,24 +379,17 @@ let maybe_spawn_backups t ctx writes =
   if t.config.Config.spawn_backups then
     List.iter
       (fun ({ Database.item; _ } as write) ->
-        let holders =
-          List.filter (fun s -> t.placement.(s).(item)) (Session.operational t.vector)
-        in
-        match holders with
-        | [ _last_holder ] -> begin
-          match
-            List.find_opt
-              (fun s -> not t.placement.(s).(item))
-              (Session.operational t.vector)
-          with
+        let holders = ref 0 in
+        Session.iter_operational t.vector (fun s ->
+            if t.placement.(s).(item) then incr holders);
+        if !holders = 1 then begin
+          match Session.first_operational t.vector (fun s -> not t.placement.(s).(item)) with
           | None -> ()
           | Some target ->
             Engine.work ctx t.cost.Cost_model.backup_spawn;
             (* Broadcast so every operational site updates its placement
                view; the target also materialises the copy. *)
-            List.iter
-              (fun r -> Engine.send ctx r (Message.Backup_copy { target; write }))
-              (operational_others t);
+            iter_others t (fun r -> Engine.send ctx r (Message.Backup_copy { target; write }));
             t.placement.(target).(item) <- true;
             if target = t.id then Database.materialize t.db write;
             t.metrics.Metrics.control3_backups <- t.metrics.Metrics.control3_backups + 1;
@@ -384,8 +400,7 @@ let maybe_spawn_backups t ctx writes =
                      kind = Obs.Backup;
                      detail = Printf.sprintf "item %d to site %d" item target;
                    })
-        end
-        | _ -> ())
+        end)
       writes
 
 (* {2 Coordinator (Appendix A, "actions at the coordinating site")} *)
@@ -436,7 +451,9 @@ let collect_reads t coord =
   List.filter_map
     (fun item ->
       if Hashtbl.mem coord.fetch_only item then
-        List.find_opt (fun (i, _, _) -> i = item) coord.remote_reads
+        Option.map
+          (fun (value, version) -> (item, value, version))
+          (Hashtbl.find_opt coord.remote_reads item)
       else
         match Database.read t.db item with
         | Some (value, version) -> Some (item, value, version)
@@ -469,19 +486,27 @@ let begin_phase1 t ctx coord =
   (* Every operational site participates, even one storing none of the
      written items: fail-locks are fully replicated (paper §1.1), so every
      site must see the commit to maintain its table. *)
-  let participants = operational_others t in
-  if participants = [] then local_commit t ctx coord
+  let participant_count = count_others t in
+  if participant_count = 0 then local_commit t ctx coord
   else begin
-    coord.phase <- Preparing { participants; pending_acks = participants };
+    let participants = Bitset.create (Session.num_sites t.vector) in
+    iter_others t (fun s -> Bitset.set participants s);
+    coord.phase <-
+      Preparing
+        {
+          participants;
+          participant_count;
+          pending_acks = Bitset.copy participants;
+          remaining = participant_count;
+        };
     coord.phase_entered_at <- Engine.time ctx;
     if tracing t then begin
       emit t ctx (Obs.Phase_enter { txn = coord.txn.Txn.id; phase = Obs.Prepare });
       emit t ctx
-        (Obs.Prepare_sent
-           { txn = coord.txn.Txn.id; participants = List.length participants })
+        (Obs.Prepare_sent { txn = coord.txn.Txn.id; participants = participant_count })
     end;
     let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
-    List.iter
+    Bitset.iter
       (fun p ->
         Engine.work ctx t.cost.Cost_model.prepare_send;
         Engine.send ctx p
@@ -513,12 +538,12 @@ let begin_txn t ctx txn =
       txn;
       started_at;
       writes;
-      phase = Copying { pending_sources = [] };
+      phase = Copying { pending_sources = Bitset.create (Session.num_sites t.vector); remaining = 0 };
       phase_entered_at = started_at;
       copier_requests = 0;
       copier_items = 0;
       cleared_items = [];
-      remote_reads = [];
+      remote_reads = Hashtbl.create 4;
       fetch_only = Hashtbl.create 4;
     }
   in
@@ -539,10 +564,7 @@ let begin_txn t ctx txn =
     | Config.Partial _ ->
       List.exists
         (fun { Database.item; _ } ->
-          not
-            (List.exists
-               (fun s -> t.placement.(s).(item))
-               (Session.operational t.vector)))
+          not (Session.exists_operational t.vector (fun s -> t.placement.(s).(item))))
         writes
   in
   if write_unavailable then
@@ -586,8 +608,10 @@ let begin_txn t ctx txn =
     else begin
       if tracing t then
         emit t ctx (Obs.Phase_enter { txn = txn.Txn.id; phase = Obs.Copy });
+      let pending_sources = Bitset.create (Session.num_sites t.vector) in
       List.iter
         (fun (source, items) ->
+          Bitset.set pending_sources source;
           Engine.work ctx t.cost.Cost_model.copier_request_send;
           Engine.send ctx source (Message.Copy_request { txn = txn.Txn.id; items });
           coord.copier_requests <- coord.copier_requests + 1;
@@ -597,7 +621,7 @@ let begin_txn t ctx txn =
               (Obs.Copier_request
                  { txn = txn.Txn.id; source; items = List.length items }))
         groups;
-      coord.phase <- Copying { pending_sources = List.map fst groups };
+      coord.phase <- Copying { pending_sources; remaining = List.length groups };
       coord.phase_entered_at <- Engine.time ctx
     end
   end
@@ -609,9 +633,8 @@ let abort_txn t ctx coord ~reason ~notify =
      stale bits for this site. *)
   let cleared = if t.config.Config.embed_clears then coord.cleared_items else [] in
   if notify || cleared <> [] then begin
-    List.iter
-      (fun p -> Engine.send ctx p (Message.Abort { txn = coord.txn.Txn.id; cleared }))
-      (operational_others t);
+    iter_others t (fun p ->
+        Engine.send ctx p (Message.Abort { txn = coord.txn.Txn.id; cleared }));
     if notify && tracing t then
       emit t ctx (Obs.Decide { txn = coord.txn.Txn.id; commit = false })
   end;
@@ -648,20 +671,24 @@ let handle_copy_reply t ctx ~txn ~writes ~src =
         in
         List.iter
           (fun { Database.item; value; version } ->
-            coord.remote_reads <- (item, value, version) :: coord.remote_reads)
+            Hashtbl.replace coord.remote_reads item (value, version))
           fetch_only;
         let cleared = install_refreshed t ctx ~round:txn installable in
         coord.copier_items <- coord.copier_items + List.length cleared;
         t.metrics.Metrics.copier_items_refreshed <-
           t.metrics.Metrics.copier_items_refreshed + List.length cleared;
         coord.cleared_items <- cleared @ coord.cleared_items;
-        c.pending_sources <- List.filter (fun s -> s <> src) c.pending_sources;
-        if c.pending_sources = [] then begin
-          (* All copier transactions done: run the special transaction to
-             clear fail-locks at other sites (unless the information is
-             embedded in the commit protocol), then enter phase 1. *)
-          if not t.config.Config.embed_clears then broadcast_clears t ctx coord.cleared_items;
-          begin_phase1 t ctx coord
+        if Bitset.mem c.pending_sources src then begin
+          Bitset.clear c.pending_sources src;
+          c.remaining <- c.remaining - 1;
+          if c.remaining = 0 then begin
+            (* All copier transactions done: run the special transaction to
+               clear fail-locks at other sites (unless the information is
+               embedded in the commit protocol), then enter phase 1. *)
+            if not t.config.Config.embed_clears then
+              broadcast_clears t ctx coord.cleared_items;
+            begin_phase1 t ctx coord
+          end
         end
       | Preparing _ | Committing _ -> ()
     end
@@ -707,19 +734,24 @@ let handle_prepare_ack t ctx ~txn ~src =
     match coord.phase with
     | Preparing p ->
       Engine.work ctx t.cost.Cost_model.ack_process;
-      p.pending_acks <- List.filter (fun s -> s <> src) p.pending_acks;
-      if p.pending_acks = [] then begin
-        t.metrics.Metrics.phase_prepare_ms <-
-          ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
-          :: t.metrics.Metrics.phase_prepare_ms;
-        (* Phase 2 goes to exactly the phase-1 participants. *)
-        coord.phase <- Committing { pending_acks = p.participants };
-        coord.phase_entered_at <- Engine.time ctx;
-        if tracing t then begin
-          emit t ctx (Obs.Decide { txn; commit = true });
-          emit t ctx (Obs.Phase_enter { txn; phase = Obs.Commit })
-        end;
-        List.iter (fun s -> Engine.send ctx s (Message.Commit { txn })) p.participants
+      if Bitset.mem p.pending_acks src then begin
+        Bitset.clear p.pending_acks src;
+        p.remaining <- p.remaining - 1;
+        if p.remaining = 0 then begin
+          t.metrics.Metrics.phase_prepare_ms <-
+            ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
+            :: t.metrics.Metrics.phase_prepare_ms;
+          (* Phase 2 goes to exactly the phase-1 participants; the
+             participant bitset becomes the commit-ack pending set. *)
+          coord.phase <-
+            Committing { pending_acks = p.participants; remaining = p.participant_count };
+          coord.phase_entered_at <- Engine.time ctx;
+          if tracing t then begin
+            emit t ctx (Obs.Decide { txn; commit = true });
+            emit t ctx (Obs.Phase_enter { txn; phase = Obs.Commit })
+          end;
+          Bitset.iter (fun s -> Engine.send ctx s (Message.Commit { txn })) p.participants
+        end
       end
     | Copying _ | Committing _ -> ()
   end
@@ -731,8 +763,11 @@ let handle_commit_ack t ctx ~txn ~src =
     match coord.phase with
     | Committing c ->
       Engine.work ctx t.cost.Cost_model.ack_process;
-      c.pending_acks <- List.filter (fun s -> s <> src) c.pending_acks;
-      if c.pending_acks = [] then local_commit t ctx coord
+      if Bitset.mem c.pending_acks src then begin
+        Bitset.clear c.pending_acks src;
+        c.remaining <- c.remaining - 1;
+        if c.remaining = 0 then local_commit t ctx coord
+      end
     | Copying _ | Preparing _ -> ()
   end
 
@@ -907,8 +942,11 @@ let handle_send_failed t ctx ~dst ~payload =
     | Some coord -> begin
       match coord.phase with
       | Committing c ->
-        c.pending_acks <- List.filter (fun s -> s <> dst) c.pending_acks;
-        if c.pending_acks = [] then local_commit t ctx coord
+        if Bitset.mem c.pending_acks dst then begin
+          Bitset.clear c.pending_acks dst;
+          c.remaining <- c.remaining - 1;
+          if c.remaining = 0 then local_commit t ctx coord
+        end
       | Copying _ | Preparing _ -> ()
     end
     | None -> ()
@@ -951,11 +989,9 @@ let handle_message t ctx ~src payload =
     (* Graceful departure: announce before going away, so survivors never
        have to discover the absence through timeouts. *)
     Session.mark_terminating t.vector t.id;
-    List.iter
-      (fun r ->
+    iter_others t (fun r ->
         Engine.work ctx t.cost.Cost_model.recovery_announce_send;
         Engine.send ctx r (Message.Departure_announce { site = t.id }))
-      (operational_others t)
   | Message.Departure_announce { site } -> Session.mark_terminating t.vector site
   | Message.Prepare { txn; writes; cleared } -> handle_prepare t ctx ~txn ~writes ~cleared ~src
   | Message.Prepare_ack { txn } -> handle_prepare_ack t ctx ~txn ~src

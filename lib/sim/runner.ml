@@ -67,10 +67,7 @@ let run_one_txn state =
   end
   else state.aborted <- state.aborted + 1;
   state.copiers <- state.copiers + outcome.Metrics.copier_requests;
-  let faillocks_per_site =
-    Array.init (Cluster.num_sites state.cluster) (fun s ->
-        Cluster.faillock_count_for state.cluster s)
-  in
+  let faillocks_per_site = Cluster.faillock_counts state.cluster in
   state.records_rev <-
     {
       index = id;

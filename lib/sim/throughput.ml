@@ -1,0 +1,216 @@
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Workload = Raid_core.Workload
+module Metrics = Raid_core.Metrics
+module Engine = Raid_net.Engine
+module Vtime = Raid_net.Vtime
+module Rng = Raid_util.Rng
+module Stats = Raid_util.Stats
+module Table = Raid_util.Table
+module Pool = Raid_par.Pool
+
+type failure = { fail_site : int; fail_at_ms : float; recover_at_ms : float }
+
+type config = {
+  sites : int;
+  items : int;
+  max_ops : int;
+  write_prob : float;
+  duration_ms : float;
+  failure : failure option;
+}
+
+let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
+    ?(duration_ms = 10_000.0) ?failure () =
+  if sites <= 0 then invalid_arg "Throughput: sites must be positive";
+  if items <= 0 then invalid_arg "Throughput: items must be positive";
+  if duration_ms <= 0.0 then invalid_arg "Throughput: duration must be positive";
+  (match failure with
+  | None -> ()
+  | Some { fail_site; fail_at_ms; recover_at_ms } ->
+    if fail_site < 0 || fail_site >= sites then invalid_arg "Throughput: fail_site out of range";
+    if fail_at_ms < 0.0 || recover_at_ms <= fail_at_ms then
+      invalid_arg "Throughput: need 0 <= fail_at < recover_at");
+  { sites; items; max_ops; write_prob; duration_ms; failure }
+
+(* Failure times are absolute virtual times (not fractions of the
+   duration), so a longer run of the same seed is a strict extension of a
+   shorter one — the monotonicity property the tests pin. *)
+let default_failure ~sites:_ ~duration_ms =
+  { fail_site = 0; fail_at_ms = duration_ms /. 5.0; recover_at_ms = duration_ms /. 2.0 }
+
+type result = {
+  seed : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  copier_requests : int;
+  faillocks_set : int;
+  faillocks_cleared : int;
+  virtual_ms : float;  (** engine virtual time when the stream stopped *)
+  events : int;  (** messages delivered + timers fired, host-side work *)
+  messages_sent : int;
+  recovered : bool;  (** the failed site completed control-1 (no failure = true) *)
+  windows : (int * int * int) list;
+      (** per-virtual-second window: (window index, committed, aborted) *)
+}
+
+let txns_per_vsec r =
+  if r.virtual_ms <= 0.0 then 0.0 else float_of_int r.committed /. (r.virtual_ms /. 1000.0)
+
+let abort_rate r =
+  let total = r.committed + r.aborted in
+  if total = 0 then 0.0 else float_of_int r.aborted /. float_of_int total
+
+(* Host-side events per wall-clock second; the caller supplies the wall
+   time so the simulation result itself stays deterministic. *)
+let events_per_sec ~wall_s r =
+  if wall_s <= 0.0 then 0.0 else float_of_int r.events /. wall_s
+
+(* The steady-state stream.  Transactions are drawn from a uniform
+   workload and submitted serially in virtual time (the paper's sites run
+   serially); the stream is open-loop in the sense that load never adapts
+   to outcomes — aborts do not slow the arrival of the next transaction.
+   The optional failure/recovery pair fires at absolute virtual times
+   mid-run, so the measurement covers normal processing, the degraded
+   window and the recovery tail in one trajectory. *)
+let run ?(seed = 42) config =
+  let ccfg = Config.make ~num_sites:config.sites ~num_items:config.items () in
+  let cluster = Cluster.create ccfg in
+  let engine = Cluster.engine cluster in
+  let rng = Rng.create seed in
+  let workload =
+    Workload.create
+      (Workload.Uniform { max_ops = config.max_ops; write_prob = config.write_prob })
+      ~num_items:config.items ~rng:(Rng.split rng)
+  in
+  let committed = ref 0 and aborted = ref 0 and submitted = ref 0 in
+  let windows = Hashtbl.create 32 in
+  let failed = ref false and recovered_once = ref false in
+  let now_ms () = Vtime.to_ms (Engine.now engine) in
+  let fail_due () =
+    match config.failure with
+    | Some f when (not !failed) && (not !recovered_once) && now_ms () >= f.fail_at_ms ->
+      Some f.fail_site
+    | _ -> None
+  in
+  let recover_due () =
+    match config.failure with
+    | Some f when !failed && now_ms () >= f.recover_at_ms -> Some f.fail_site
+    | _ -> None
+  in
+  let pick_coordinator () =
+    let operational =
+      List.filter
+        (fun s -> not (Raid_core.Site.is_waiting (Cluster.site cluster s)))
+        (Cluster.alive_sites cluster)
+    in
+    if operational = [] then invalid_arg "Throughput: no operational site";
+    Rng.choose rng operational
+  in
+  let record outcome =
+    let window = int_of_float (now_ms () /. 1000.0) in
+    let c, a = Option.value ~default:(0, 0) (Hashtbl.find_opt windows window) in
+    if outcome.Metrics.committed then begin
+      incr committed;
+      Hashtbl.replace windows window (c + 1, a)
+    end
+    else begin
+      incr aborted;
+      Hashtbl.replace windows window (c, a + 1)
+    end
+  in
+  while now_ms () < config.duration_ms do
+    (match fail_due () with
+    | Some site ->
+      Cluster.fail_site cluster site;
+      failed := true
+    | None -> ());
+    (match recover_due () with
+    | Some site ->
+      (match Cluster.recover_site cluster site with
+      | `Recovered -> recovered_once := true
+      | `Blocked -> ());
+      failed := false
+    | None -> ());
+    let id = Cluster.next_txn_id cluster in
+    incr submitted;
+    record (Cluster.submit cluster ~coordinator:(pick_coordinator ()) (Workload.next workload ~id))
+  done;
+  let metrics = Cluster.metrics cluster in
+  let counters = Engine.counters engine in
+  {
+    seed;
+    submitted = !submitted;
+    committed = !committed;
+    aborted = !aborted;
+    copier_requests = metrics.Metrics.copier_requests;
+    faillocks_set = metrics.Metrics.faillocks_set;
+    faillocks_cleared = metrics.Metrics.faillocks_cleared;
+    virtual_ms = now_ms ();
+    events = counters.Engine.delivered + counters.Engine.timer_fired;
+    messages_sent = counters.Engine.sent;
+    recovered = (match config.failure with None -> true | Some _ -> !recovered_once);
+    windows =
+      List.sort compare (Hashtbl.fold (fun w (c, a) acc -> (w, c, a) :: acc) windows []);
+  }
+
+(* Multi-seed sweep: each seed is an independent pure run, so the batch
+   fans out over the domain pool with bit-identical results for any -j. *)
+let run_seeds ?domains ?(base_seed = 42) ~seeds config =
+  if seeds <= 0 then invalid_arg "Throughput: seeds must be positive";
+  Pool.map ?domains (fun seed -> run ~seed config) (List.init seeds (fun i -> base_seed + i))
+
+let results_table ~config results =
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Steady-state throughput: %d sites, %d items, txn<=%d ops, P(write)=%.2f, %.0f \
+            virtual ms%s"
+           config.sites config.items config.max_ops config.write_prob config.duration_ms
+           (match config.failure with
+           | None -> ", no failure"
+           | Some f ->
+             Printf.sprintf ", site %d down %.0f-%.0f ms" f.fail_site f.fail_at_ms
+               f.recover_at_ms))
+      [
+        ("seed", Table.Right);
+        ("committed", Table.Right);
+        ("aborted", Table.Right);
+        ("abort %", Table.Right);
+        ("txns/vsec", Table.Right);
+        ("copiers", Table.Right);
+        ("events", Table.Right);
+        ("recovered", Table.Right);
+      ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          string_of_int r.seed;
+          string_of_int r.committed;
+          string_of_int r.aborted;
+          Printf.sprintf "%.1f" (100.0 *. abort_rate r);
+          Printf.sprintf "%.1f" (txns_per_vsec r);
+          string_of_int r.copier_requests;
+          string_of_int r.events;
+          string_of_bool r.recovered;
+        ])
+    results;
+  table
+
+let summary results =
+  let stat f = Stats.summarize (List.map f results) in
+  ( stat txns_per_vsec,
+    stat abort_rate,
+    stat (fun r -> float_of_int r.events) )
+
+let windows_csv r =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "virtual_s,committed,aborted\n";
+  List.iter
+    (fun (w, c, a) -> Buffer.add_string buffer (Printf.sprintf "%d,%d,%d\n" w c a))
+    r.windows;
+  Buffer.contents buffer

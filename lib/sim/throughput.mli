@@ -1,0 +1,84 @@
+(** Steady-state throughput measurement (beyond the paper's scale).
+
+    The paper's experiments measure costs around a single failure and
+    recovery at 4 sites and 50 items; this layer measures {e sustained}
+    load on a configurable cluster: a serial open-loop transaction stream
+    (arrivals never adapt to outcomes) runs for a fixed virtual duration
+    with an optional failure + recovery at absolute virtual times mid-run.
+    The deterministic result reports committed transactions per virtual
+    second, the abort rate, and the host-side event count — the events/sec
+    rate is computed by the caller from its own wall clock so the
+    simulation output stays bit-identical across hosts and [-j] values. *)
+
+type failure = { fail_site : int; fail_at_ms : float; recover_at_ms : float }
+
+type config = {
+  sites : int;
+  items : int;
+  max_ops : int;
+  write_prob : float;
+  duration_ms : float;  (** virtual run length *)
+  failure : failure option;
+}
+
+val make_config :
+  ?sites:int ->
+  ?items:int ->
+  ?max_ops:int ->
+  ?write_prob:float ->
+  ?duration_ms:float ->
+  ?failure:failure ->
+  unit ->
+  config
+(** Defaults: 16 sites, 500 items, txn <= 5 ops, P(write) 0.5, 10 000
+    virtual ms, no failure.  @raise Invalid_argument on non-positive
+    sizes/duration, an out-of-range [fail_site], or
+    [recover_at_ms <= fail_at_ms]. *)
+
+val default_failure : sites:int -> duration_ms:float -> failure
+(** Site 0 down from 1/5 to 1/2 of the duration — computed once into
+    absolute times, so extending the duration afterwards still yields a
+    prefix-compatible schedule. *)
+
+type result = {
+  seed : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  copier_requests : int;
+  faillocks_set : int;
+  faillocks_cleared : int;
+  virtual_ms : float;
+  events : int;  (** messages delivered + timers fired *)
+  messages_sent : int;
+  recovered : bool;
+  windows : (int * int * int) list;
+      (** (virtual second, committed, aborted) trajectory *)
+}
+
+val run : ?seed:int -> config -> result
+(** One deterministic run: a pure function of [seed] and [config]. *)
+
+val run_seeds : ?domains:int -> ?base_seed:int -> seeds:int -> config -> result list
+(** [seeds] independent runs ([base_seed], [base_seed+1], ...) fanned out
+    over the domain pool; result order and contents are bit-identical for
+    any domain count. *)
+
+val txns_per_vsec : result -> float
+(** Committed transactions per virtual second. *)
+
+val abort_rate : result -> float
+(** Aborted / (committed + aborted); 0 on an empty run. *)
+
+val events_per_sec : wall_s:float -> result -> float
+(** Host-side events per wall-clock second; the caller measures the wall
+    time (keeps [result] deterministic). *)
+
+val results_table : config:config -> result list -> Raid_util.Table.t
+
+val summary :
+  result list -> Raid_util.Stats.summary * Raid_util.Stats.summary * Raid_util.Stats.summary
+(** (txns/vsec, abort rate, events) across runs. *)
+
+val windows_csv : result -> string
+(** The per-virtual-second trajectory as CSV. *)

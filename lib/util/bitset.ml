@@ -55,9 +55,22 @@ let union_into ~dst src =
 
 let equal a b = a.capacity = b.capacity && Bytes.equal a.bits b.bits
 
+(* Members in increasing order, visiting only the set bits: zero bytes
+   are skipped whole, and within a non-zero byte each iteration isolates
+   the lowest set bit ([b land -b]) and clears it ([b land (b-1)]), so
+   the cost is O(bytes + popcount) rather than O(capacity) tests. *)
 let iter f t =
-  for i = 0 to t.capacity - 1 do
-    if mem t i then f i
+  let n = Bytes.length t.bits in
+  for i = 0 to n - 1 do
+    let b = ref (Bytes.get_uint8 t.bits i) in
+    if !b <> 0 then begin
+      let base = i lsl 3 in
+      while !b <> 0 do
+        let lowest = !b land - !b in
+        f (base + popcount_byte (lowest - 1));
+        b := !b land (!b - 1)
+      done
+    end
   done
 
 let fold f t init =

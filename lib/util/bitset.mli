@@ -45,7 +45,9 @@ val equal : t -> t -> bool
 (** Structural equality; capacities must match for [true]. *)
 
 val iter : (int -> unit) -> t -> unit
-(** [iter f t] applies [f] to each member in increasing order. *)
+(** [iter f t] applies [f] to each member in increasing order.  Zero
+    bytes are skipped whole and only set bits are visited —
+    O(capacity/8 + cardinal), with no intermediate list. *)
 
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
 

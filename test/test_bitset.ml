@@ -103,9 +103,34 @@ let prop_model =
       && Bitset.cardinal b = IntSet.cardinal model
       && Bitset.is_empty b = IntSet.is_empty model)
 
+(* The word-scan [iter] isolates bits within bytes and skips zero bytes;
+   pin its order and completeness around every byte boundary. *)
+let test_iter_byte_boundaries () =
+  let b = Bitset.create 70 in
+  let members = [ 0; 6; 7; 8; 9; 15; 16; 31; 32; 63; 64; 69 ] in
+  List.iter (Bitset.set b) members;
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  Alcotest.(check (list int)) "increasing order, every member" members (List.rev !seen);
+  Alcotest.(check int) "cardinal agrees" (List.length members) (Bitset.cardinal b)
+
+let test_iter_sparse () =
+  let b = Bitset.create 256 in
+  Bitset.set b 0;
+  Bitset.set b 255;
+  Alcotest.(check (list int)) "only the set bits" [ 0; 255 ] (Bitset.to_list b);
+  Alcotest.(check int) "fold visits two" 2 (Bitset.fold (fun _ acc -> acc + 1) b 0);
+  Bitset.clear b 0;
+  Bitset.clear b 255;
+  let visited = ref 0 in
+  Bitset.iter (fun _ -> incr visited) b;
+  Alcotest.(check int) "empty set visits none" 0 !visited
+
 let suite =
   [
     Alcotest.test_case "empty set" `Quick test_empty;
+    Alcotest.test_case "iter byte boundaries" `Quick test_iter_byte_boundaries;
+    Alcotest.test_case "iter sparse/empty" `Quick test_iter_sparse;
     Alcotest.test_case "set/clear/mem" `Quick test_set_clear_mem;
     Alcotest.test_case "set idempotent" `Quick test_set_idempotent;
     Alcotest.test_case "bounds checked" `Quick test_bounds;

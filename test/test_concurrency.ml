@@ -204,8 +204,35 @@ let test_validation () =
     (Invalid_argument "Concurrent.run: concurrency must be positive") (fun () ->
       ignore (Concurrent.run ~concurrency:0 ~config:(base_config ()) ~workload ()))
 
+(* Regression: [normalize] used to return requests in [Hashtbl.fold]
+   order, which is unspecified and changed across OCaml releases.  It
+   must sort by item regardless of request order. *)
+let test_normalize_sorted () =
+  let requests =
+    [
+      (9, Lock_manager.Shared);
+      (2, Lock_manager.Exclusive);
+      (17, Lock_manager.Shared);
+      (2, Lock_manager.Shared);
+      (0, Lock_manager.Shared);
+      (9, Lock_manager.Exclusive);
+    ]
+  in
+  let normalized = Lock_manager.normalize requests in
+  Alcotest.(check (list int)) "sorted by item" [ 0; 2; 9; 17 ] (List.map fst normalized);
+  let mode item = List.assoc item normalized in
+  Alcotest.(check bool) "strongest wins (2)" true (mode 2 = Lock_manager.Exclusive);
+  Alcotest.(check bool) "strongest wins (9)" true (mode 9 = Lock_manager.Exclusive);
+  Alcotest.(check bool) "shared kept (0)" true (mode 0 = Lock_manager.Shared);
+  (* Same requests, shuffled: identical output. *)
+  let shuffled = List.rev requests in
+  Alcotest.(check bool)
+    "order-independent" true
+    (Lock_manager.normalize shuffled = normalized)
+
 let suite =
   [
+    Alcotest.test_case "normalize sorted by item" `Quick test_normalize_sorted;
     Alcotest.test_case "shared locks compatible" `Quick test_shared_compatible;
     Alcotest.test_case "exclusive blocks" `Quick test_exclusive_blocks;
     Alcotest.test_case "all-or-nothing acquisition" `Quick test_all_or_nothing;

@@ -23,8 +23,8 @@ let test_scale () =
 
 let test_config_validation () =
   let module Config = Raid_core.Config in
-  Alcotest.check_raises "too many sites" (Invalid_argument "Config: at most 64 sites supported")
-    (fun () -> ignore (Config.make ~num_sites:65 ~num_items:1 ()));
+  Alcotest.check_raises "too many sites" (Invalid_argument "Config: at most 1024 sites supported")
+    (fun () -> ignore (Config.make ~num_sites:1025 ~num_items:1 ()));
   Alcotest.check_raises "bad threshold" (Invalid_argument "Config: two-step threshold outside [0,1]")
     (fun () ->
       ignore

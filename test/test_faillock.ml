@@ -88,9 +88,28 @@ let prop_commit_update_postcondition =
         (fun s -> Faillock.is_locked t ~item:2 ~site:s = not (site_up s))
         [ 0; 1; 2 ])
 
+let test_iteration_helpers () =
+  let t = table () in
+  ignore (Faillock.set t ~item:0 ~site:1);
+  ignore (Faillock.set t ~item:3 ~site:1);
+  ignore (Faillock.set t ~item:4 ~site:2);
+  let seen = ref [] in
+  Faillock.iter_locked_items_for t ~site:1 (fun item -> seen := item :: !seen);
+  Alcotest.(check (list int))
+    "iter = locked_items_for"
+    (Faillock.locked_items_for t ~site:1)
+    (List.rev !seen);
+  Alcotest.(check bool) "any for locked site" true (Faillock.any_locked_for t ~site:1);
+  Alcotest.(check bool) "none for clean site" false (Faillock.any_locked_for t ~site:0);
+  let union = Raid_util.Bitset.create 3 in
+  Faillock.union_locked_into ~dst:union t ~item:0;
+  Faillock.union_locked_into ~dst:union t ~item:4;
+  Alcotest.(check (list int)) "union of rows" [ 1; 2 ] (Raid_util.Bitset.to_list union)
+
 let suite =
   [
     Alcotest.test_case "initial table" `Quick test_initial;
+    Alcotest.test_case "iteration helpers" `Quick test_iteration_helpers;
     Alcotest.test_case "set/clear transitions" `Quick test_set_clear_transitions;
     Alcotest.test_case "commit_update semantics" `Quick test_commit_update;
     Alcotest.test_case "locked items and counts" `Quick test_locked_items_and_counts;

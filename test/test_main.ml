@@ -26,6 +26,7 @@ let () =
       ("termination", Test_termination.suite);
       ("obs", Test_obs.suite);
       ("sim", Test_sim.suite);
+      ("throughput", Test_throughput.suite);
       ("analysis", Test_analysis.suite);
       ("timeline", Test_timeline.suite);
       ("misc", Test_misc.suite);

@@ -53,11 +53,73 @@ let test_pp () =
   Session.mark_down v 1;
   Alcotest.(check string) "render" "[0:1/up; 1:1/down]" (Format.asprintf "%a" Session.pp v)
 
+(* The allocation-free iterators must visit exactly the sites the list
+   forms return, in the same (increasing) order — the protocol's send
+   order, hence trace byte-identity, depends on it. *)
+let test_iterators_match_lists () =
+  let v = Session.create ~num_sites:6 in
+  Session.mark_down v 1;
+  Session.mark_waiting v 4 ~session:2;
+  let collect f =
+    let acc = ref [] in
+    f (fun s -> acc := s :: !acc);
+    List.rev !acc
+  in
+  Alcotest.(check (list int))
+    "iter_operational = operational" (Session.operational v)
+    (collect (Session.iter_operational v));
+  Alcotest.(check (list int))
+    "iter_operational_except = operational_except"
+    (Session.operational_except v 2)
+    (collect (Session.iter_operational_except v ~self:2));
+  Alcotest.(check int)
+    "count_except (up self)"
+    (List.length (Session.operational_except v 2))
+    (Session.operational_count_except v ~self:2);
+  Alcotest.(check int)
+    "count_except (down self)"
+    (List.length (Session.operational_except v 1))
+    (Session.operational_count_except v ~self:1)
+
+let test_up_count_cached () =
+  let v = Session.create ~num_sites:4 in
+  Alcotest.(check int) "initial" 4 (Session.up_count v);
+  Session.mark_down v 0;
+  Session.mark_down v 0;
+  Alcotest.(check int) "down is idempotent" 3 (Session.up_count v);
+  Session.mark_waiting v 1 ~session:2;
+  Alcotest.(check int) "waiting leaves up" 2 (Session.up_count v);
+  Session.mark_up v 1 ~session:2;
+  Session.mark_up v 0 ~session:2;
+  Alcotest.(check int) "recovered" 4 (Session.up_count v);
+  Session.mark_terminating v 3;
+  Alcotest.(check int) "terminating leaves up" 3 (Session.up_count v);
+  let c = Session.copy v in
+  Alcotest.(check int) "copy carries count" 3 (Session.up_count c);
+  Session.install v ~from:(Session.create ~num_sites:4);
+  Alcotest.(check int) "install recomputes" 4 (Session.up_count v)
+
+let test_search_helpers () =
+  let v = Session.create ~num_sites:5 in
+  Session.mark_down v 0;
+  Alcotest.(check bool) "exists" true (Session.exists_operational v (fun s -> s > 3));
+  Alcotest.(check bool) "exists misses down" false
+    (Session.exists_operational v (fun s -> s = 0));
+  Alcotest.(check (option int))
+    "first is lowest up" (Some 1)
+    (Session.first_operational v (fun _ -> true));
+  Alcotest.(check (option int))
+    "first none" None
+    (Session.first_operational v (fun s -> s = 0))
+
 let suite =
   [
     Alcotest.test_case "initial vector" `Quick test_initial;
     Alcotest.test_case "state transitions" `Quick test_transitions;
     Alcotest.test_case "operational_except" `Quick test_operational_except;
+    Alcotest.test_case "iterators match lists" `Quick test_iterators_match_lists;
+    Alcotest.test_case "up_count cached" `Quick test_up_count_cached;
+    Alcotest.test_case "search helpers" `Quick test_search_helpers;
     Alcotest.test_case "install and copy" `Quick test_install_and_copy;
     Alcotest.test_case "merge_failure" `Quick test_merge_failure;
     Alcotest.test_case "bounds checked" `Quick test_bounds;
