@@ -40,10 +40,14 @@ let section title =
 
 let jobs = ref 1
 let json_path = ref None
+let baseline_path = ref None
+let wall_tolerance = ref 1.5
 
 let parse_args () =
   let usage () =
-    Printf.eprintf "usage: %s [-j N | --jobs N] [--json FILE]\n" Sys.argv.(0);
+    Printf.eprintf
+      "usage: %s [-j N | --jobs N] [--json FILE] [--check-baseline FILE] [--wall-tolerance R]\n"
+      Sys.argv.(0);
     exit 2
   in
   let rec go = function
@@ -57,6 +61,15 @@ let parse_args () =
     | "--json" :: path :: rest ->
       json_path := Some path;
       go rest
+    | "--check-baseline" :: path :: rest ->
+      baseline_path := Some path;
+      go rest
+    | "--wall-tolerance" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some r when r >= 1.0 ->
+        wall_tolerance := r;
+        go rest
+      | _ -> usage ())
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv))
@@ -381,6 +394,96 @@ let write_json ~throughput ~bechamel path =
   close_out oc;
   Printf.printf "\nbenchmark results written to %s\n" path
 
+(* {2 Baseline guard}
+
+   Compares the throughput cases of this run against a previously
+   committed [--json] dump.  The simulation outputs (event counts,
+   committed txns/vsec, abort rate) are deterministic, so they must match
+   the baseline exactly up to the dump's %.3f rounding — any drift there
+   is a semantic change, not noise.  Wall-clock only has to stay within
+   [--wall-tolerance] (default 1.5x: CI machines are noisy; the ratio
+   still catches order-of-magnitude regressions such as an accidentally
+   hot telemetry path). *)
+let check_baseline ~throughput path =
+  let module Json = Raid_obs.Json in
+  section (Printf.sprintf "Baseline check against %s" path);
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let doc =
+    match Json.parse contents with
+    | Ok doc -> doc
+    | Error e ->
+      Printf.eprintf "baseline %s does not parse: %s\n" path e;
+      exit 1
+  in
+  let cases =
+    match Json.member "throughput" doc with Some arr -> Json.to_list arr | None -> []
+  in
+  let int_field k v = match Json.member k v with Some (Json.Int n) -> Some n | _ -> None in
+  let float_field k v =
+    match Json.member k v with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int n) -> Some (float_of_int n)
+    | _ -> None
+  in
+  let failures = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        incr failures;
+        Printf.printf "  FAIL %s\n" message)
+      fmt
+  in
+  List.iter
+    (fun c ->
+      match
+        List.find_opt
+          (fun b -> int_field "sites" b = Some c.tp_sites && int_field "items" b = Some c.tp_items)
+          cases
+      with
+      | None ->
+        Printf.printf "  no baseline case for %d sites / %d items, skipped\n" c.tp_sites
+          c.tp_items
+      | Some b ->
+        let label = Printf.sprintf "%d sites / %d items" c.tp_sites c.tp_items in
+        (match int_field "events" b with
+        | Some events when events <> c.tp_events ->
+          fail "%s: events %d, baseline %d (deterministic field drifted)" label c.tp_events
+            events
+        | _ -> ());
+        (match float_field "committed_txns_per_vsec" b with
+        | Some tps when Float.abs (tps -. c.tp_txns_per_vsec) > 0.0015 ->
+          fail "%s: %.3f txns/vsec, baseline %.3f (deterministic field drifted)" label
+            c.tp_txns_per_vsec tps
+        | _ -> ());
+        (match float_field "abort_rate" b with
+        | Some rate when Float.abs (rate -. c.tp_abort_rate) > 0.0015 ->
+          fail "%s: abort rate %.3f, baseline %.3f (deterministic field drifted)" label
+            c.tp_abort_rate rate
+        | _ -> ());
+        (match float_field "wall_s" b with
+        | Some wall when wall > 0.0 ->
+          let ratio = c.tp_wall_s /. wall in
+          Printf.printf "  %s: wall %.3f s vs baseline %.3f s (%+.1f%%)\n" label c.tp_wall_s
+            wall
+            ((ratio -. 1.0) *. 100.0);
+          if ratio > !wall_tolerance then
+            fail "%s: wall clock %.2fx the baseline (tolerance %.2fx)" label ratio
+              !wall_tolerance
+        | _ -> ()))
+    throughput;
+  if !failures > 0 then begin
+    Printf.eprintf "baseline check: %d failure%s\n" !failures
+      (if !failures = 1 then "" else "s");
+    exit 1
+  end
+  else Printf.printf "  baseline check passed\n"
+
 let () =
   parse_args ();
   Pool.set_default_domains !jobs;
@@ -396,6 +499,9 @@ let () =
   timed "scaling and robustness sweeps" print_scaling_and_robustness;
   let throughput = timed "steady-state throughput" print_throughput in
   let bechamel = timed "bechamel microbenchmarks" run_bechamel in
-  match !json_path with
+  (match !json_path with
   | None -> ()
-  | Some path -> write_json ~throughput ~bechamel path
+  | Some path -> write_json ~throughput ~bechamel path);
+  match !baseline_path with
+  | None -> ()
+  | Some path -> check_baseline ~throughput path

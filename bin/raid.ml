@@ -278,7 +278,16 @@ let trace_cmd =
       prerr_endline ("raid trace: " ^ message);
       exit 2
     | Ok scenario ->
-      let output = Raid_sim.Tracing.run scenario in
+      (* The summary's latency statistics silently skew if the ring
+         wraps, so give it room; the export formats keep the default
+         bound and warn instead. *)
+      let capacity = match format with `Summary -> Some (1 lsl 20) | _ -> None in
+      let output = Raid_sim.Tracing.run ?capacity scenario in
+      let dropped = Raid_obs.Trace.dropped output.Raid_sim.Tracing.trace in
+      if dropped > 0 then
+        Printf.eprintf "raid trace: dropped %d entries (capacity %d); oldest events are missing\n%!"
+          dropped
+          (Raid_obs.Trace.capacity output.Raid_sim.Tracing.trace);
       let rendered = Raid_sim.Tracing.render ~format output in
       (match out with
       | None -> print_string rendered
@@ -292,6 +301,74 @@ let trace_cmd =
          "Run a scenario with the protocol trace enabled and export it (JSONL, Chrome \
           trace-event JSON, or a latency summary).")
     Term.(const run $ scenario_name $ format $ out $ seed $ jobs)
+
+(* `raid metrics` — run a scenario with the telemetry registry attached
+   and export the time series. *)
+let metrics_cmd =
+  let scenario_doc =
+    String.concat "; "
+      (List.map
+         (fun (name, description) -> Printf.sprintf "$(b,%s): %s" name description)
+         Raid_sim.Monitor.scenarios)
+  in
+  let scenario_name =
+    Arg.(
+      value & opt string "exp1"
+      & info [ "scenario" ] ~docv:"SCENARIO" ~doc:("Scenario to instrument. " ^ scenario_doc ^ "."))
+  in
+  let sample =
+    Arg.(
+      value & opt float 100.0
+      & info [ "sample" ] ~docv:"MS"
+          ~doc:
+            "Virtual-time sampling interval in milliseconds.  Samples are stamped at exact \
+             multiples of the interval, so output is deterministic and byte-identical for any \
+             $(b,-j).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("csv", `Csv) ]) `Prom
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Output format: $(b,prom) (Prometheus text exposition, final values plus histogram \
+             buckets) or $(b,csv) (long-form time series: metric,labels,t_ms,value).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
+  in
+  let run scenario_name sample format out seed jobs =
+    set_jobs jobs;
+    if sample <= 0.0 then begin
+      prerr_endline "raid metrics: --sample must be positive";
+      exit 2
+    end;
+    match Raid_sim.Monitor.scenario_of_name ?seed scenario_name with
+    | Error message ->
+      prerr_endline ("raid metrics: " ^ message);
+      exit 2
+    | Ok scenario ->
+      let output = Raid_sim.Monitor.run ~sample:(Raid_net.Vtime.of_ms_f sample) scenario in
+      let rendered = Raid_sim.Monitor.render ~format output in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+        Raid_sim.Export.write_file ~path rendered;
+        Printf.printf "metrics written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a scenario with the virtual-time telemetry registry attached and export the \
+          sampled series (Prometheus text or long-form CSV).")
+    Term.(const run $ scenario_name $ sample $ format $ out $ seed $ jobs)
 
 (* `raid throughput` — steady-state load on a configurable cluster. *)
 let throughput_cmd =
@@ -354,8 +431,23 @@ let throughput_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Export the first seed's per-virtual-second trajectory as CSV.")
   in
+  let telemetry =
+    Arg.(
+      value & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Attach the telemetry registry to the first seed's run and export it as Prometheus \
+             text to $(docv) ($(b,-) for stdout).  The instrumented run produces the same \
+             result row as without telemetry.")
+  in
+  let sample =
+    Arg.(
+      value & opt float 100.0
+      & info [ "sample" ] ~docv:"MS"
+          ~doc:"Telemetry sampling interval in virtual milliseconds (with $(b,--telemetry)).")
+  in
   let run sites items max_ops write_prob duration seeds seed no_failure fail_at recover_at smoke
-      csv jobs =
+      csv telemetry sample jobs =
     set_jobs jobs;
     let duration = if smoke then Float.min duration 1000.0 else duration in
     let failure =
@@ -376,13 +468,39 @@ let throughput_cmd =
       Raid_sim.Throughput.make_config ~sites ~items ~max_ops ~write_prob ~duration_ms:duration
         ?failure ()
     in
+    if sample <= 0.0 then begin
+      prerr_endline "raid throughput: --sample must be positive";
+      exit 2
+    end;
+    let registry =
+      match telemetry with
+      | None -> None
+      | Some _ ->
+        Some (Raid_obs.Telemetry.create ~interval:(Raid_net.Vtime.of_ms_f sample) ())
+    in
     let t0 = Unix.gettimeofday () in
-    let results = Raid_sim.Throughput.run_seeds ~base_seed:seed ~seeds config in
+    (* The instrumented first seed runs outside the pool (the registry is
+       single-domain state); the remaining seeds still fan out over -j. *)
+    let results =
+      match registry with
+      | None -> Raid_sim.Throughput.run_seeds ~base_seed:seed ~seeds config
+      | Some registry ->
+        Raid_sim.Throughput.run ~seed ~telemetry:registry config
+        :: (if seeds > 1 then
+              Raid_sim.Throughput.run_seeds ~base_seed:(seed + 1) ~seeds:(seeds - 1) config
+            else [])
+    in
     let wall_s = Unix.gettimeofday () -. t0 in
     Table.print (Raid_sim.Throughput.results_table ~config results);
     let events = List.fold_left (fun acc r -> acc + r.Raid_sim.Throughput.events) 0 results in
     Printf.printf "\nhost: %.2f s wall clock, %d events, %.0f events/sec\n" wall_s events
       (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    (match (telemetry, registry) with
+    | Some "-", Some registry -> print_string (Raid_obs.Prom.render registry)
+    | Some path, Some registry ->
+      Raid_sim.Export.write_file ~path (Raid_obs.Prom.render registry);
+      Printf.printf "telemetry exported to %s\n" path
+    | _ -> ());
     match (csv, results) with
     | Some path, first :: _ ->
       Raid_sim.Export.write_file ~path (Raid_sim.Throughput.windows_csv first);
@@ -396,7 +514,7 @@ let throughput_cmd =
           host events/sec) under an open-loop stream with a mid-run failure and recovery.")
     Term.(
       const run $ sites $ items $ max_ops $ write_prob $ duration $ seeds $ seed $ no_failure
-      $ fail_at $ recover_at $ smoke $ csv $ jobs)
+      $ fail_at $ recover_at $ smoke $ csv $ telemetry $ sample $ jobs)
 
 (* `raid concurrency` *)
 let concurrency_cmd =
@@ -438,13 +556,14 @@ let main_cmd =
     "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
   in
   Cmd.group
-    (Cmd.info "raid" ~version:"1.2.0" ~doc)
+    (Cmd.info "raid" ~version:"1.3.0" ~doc)
     [
       exp_cmd;
       ablations_cmd;
       scaling_cmd;
       scenario_cmd;
       trace_cmd;
+      metrics_cmd;
       throughput_cmd;
       concurrency_cmd;
       repl_cmd;

@@ -1,5 +1,7 @@
 module Engine = Raid_net.Engine
 module Database = Raid_storage.Database
+module Vtime = Raid_net.Vtime
+module Telemetry = Raid_obs.Telemetry
 
 type detection = Immediate | On_timeout
 
@@ -14,9 +16,116 @@ type t = {
   mutable next_id : int;
   committed_versions : int array;
   mutable outcome_hook : (Metrics.outcome -> unit) option;
+  mutable telemetry_observe : (Metrics.outcome -> unit) option;
 }
 
-let create ?(detection = Immediate) ?(trace = false) ?obs config =
+(* Wire a telemetry registry into every layer of this cluster: polled
+   gauges over site state, counters fed by the engine's probe, polled
+   counters over the protocol aggregates, and per-outcome latency
+   histograms.  Everything registered here either polls on sample (a
+   closure over existing state, zero steady-state cost) or is a single
+   float store on the probe path — the run itself is never perturbed. *)
+let attach_telemetry t registry =
+  let engine = t.engine in
+  (* Engine profile: events, messages and virtual handler time by
+     payload kind.  Counters are pre-registered for every message kind
+     so all series are aligned from the first sample. *)
+  let events_total =
+    Telemetry.counter registry "raid_engine_events_total"
+      ~help:"Engine events processed (deliveries, failure notifications, timer firings)"
+  in
+  let msg_counters = Hashtbl.create 32 in
+  let vtime_counters = Hashtbl.create 32 in
+  List.iter
+    (fun kind ->
+      Hashtbl.replace msg_counters kind
+        (Telemetry.counter registry "raid_engine_messages_total"
+           ~labels:[ ("kind", kind) ]
+           ~help:"Messages delivered, by payload kind");
+      Hashtbl.replace vtime_counters kind
+        (Telemetry.counter registry "raid_engine_vtime_us_total"
+           ~labels:[ ("kind", kind) ]
+           ~help:"Virtual handler time accumulated via the cost model, by payload kind (us)"))
+    Message.all_kinds;
+  Telemetry.gauge registry "raid_engine_queue_depth"
+    ~help:"Pending events in the engine queue" (fun () ->
+      float_of_int (Engine.pending_events engine));
+  Telemetry.gauge registry "raid_engine_heap_high_water"
+    ~help:"Highest event-queue depth observed since creation" (fun () ->
+      float_of_int (Engine.heap_high_water engine));
+  Telemetry.polled_counter registry "raid_engine_sent_total"
+    ~help:"Messages submitted, including managing-site injections" (fun () ->
+      float_of_int (Engine.counters engine).Engine.sent);
+  Telemetry.polled_counter registry "raid_engine_undeliverable_total"
+    ~help:"Arrivals at a dead site or severed link" (fun () ->
+      float_of_int (Engine.counters engine).Engine.undeliverable);
+  (* Per-site gauges: the quantities the paper's figures track, sampled
+     over virtual time instead of per transaction. *)
+  Array.iter
+    (fun site ->
+      let own = Site.id site in
+      let labels = [ ("site", string_of_int own) ] in
+      Telemetry.gauge registry "raid_site_faillocks" ~labels
+        ~help:"Items fail-locked for this site in its own table (its out-of-date copies)"
+        (fun () -> float_of_int (Faillock.count_for (Site.faillocks site) ~site:own));
+      Telemetry.gauge registry "raid_site_faillock_bits" ~labels
+        ~help:"Set bits in this site's fail-lock table, over all items and sites"
+        (fun () -> float_of_int (Faillock.total_locked (Site.faillocks site)));
+      Telemetry.gauge registry "raid_site_pending_2pc" ~labels
+        ~help:"Pending 2PC acknowledgements across in-flight coordinated transactions"
+        (fun () -> float_of_int (Site.pending_2pc site));
+      Telemetry.gauge registry "raid_site_buffered_prepares" ~labels
+        ~help:"Participant-side phase-1 write sets awaiting the coordinator's decision"
+        (fun () -> float_of_int (Site.buffered_prepares site));
+      Telemetry.gauge registry "raid_site_session_up" ~labels
+        ~help:"Sites this site believes operational (session-vector up-count)"
+        (fun () -> float_of_int (Session.up_count (Site.vector site)));
+      Telemetry.gauge registry "raid_site_alive" ~labels ~help:"1 while the site is up"
+        (fun () -> if Engine.alive engine own then 1.0 else 0.0))
+    t.sites;
+  (* Protocol aggregates: every Metrics counter, polled. *)
+  List.iter
+    (fun (name, _) ->
+      Telemetry.polled_counter registry ("raid_" ^ name ^ "_total")
+        ~help:"Cumulative protocol count (see Raid_core.Metrics)" (fun () ->
+          float_of_int (List.assoc name (Metrics.snapshot_counts t.metrics))))
+    (Metrics.snapshot_counts t.metrics);
+  let latency_help = "Virtual transaction latency at the coordinator, by outcome (ms)" in
+  let commit_latency =
+    Telemetry.histogram registry "raid_txn_latency_ms"
+      ~labels:[ ("outcome", "commit") ] ~help:latency_help
+  in
+  let abort_latency =
+    Telemetry.histogram registry "raid_txn_latency_ms"
+      ~labels:[ ("outcome", "abort") ] ~help:latency_help
+  in
+  t.telemetry_observe <-
+    Some
+      (fun outcome ->
+        let ms = Vtime.to_ms outcome.Metrics.elapsed in
+        Telemetry.observe
+          (if outcome.Metrics.committed then commit_latency else abort_latency)
+          ms);
+  Engine.set_probe engine
+    (Some
+       {
+         Engine.on_event =
+           (fun ~at:_ event ~cost ->
+             Telemetry.incr events_total;
+             let payload_kind =
+               match event with
+               | Engine.Message { payload; _ } ->
+                 let kind = Message.kind payload in
+                 Telemetry.incr (Hashtbl.find msg_counters kind);
+                 kind
+               | Engine.Send_failed { payload; _ } | Engine.Timer payload ->
+                 Message.kind payload
+             in
+             Telemetry.add (Hashtbl.find vtime_counters payload_kind) (float_of_int cost));
+         on_advance = (fun ~at -> Telemetry.maybe_sample registry ~at);
+       })
+
+let create ?(detection = Immediate) ?(trace = false) ?obs ?telemetry config =
   let metrics = Metrics.create () in
   let engine =
     Engine.create ~message_latency:config.Config.cost.Cost_model.message_latency ~trace
@@ -35,6 +144,7 @@ let create ?(detection = Immediate) ?(trace = false) ?obs config =
             if version > t.committed_versions.(item) then
               t.committed_versions.(item) <- version)
           outcome.Metrics.writes;
+      (match t.telemetry_observe with None -> () | Some observe -> observe outcome);
       match t.outcome_hook with None -> () | Some hook -> hook outcome
   in
   let sites =
@@ -54,9 +164,11 @@ let create ?(detection = Immediate) ?(trace = false) ?obs config =
       next_id = 0;
       committed_versions = Array.make config.Config.num_items 0;
       outcome_hook = None;
+      telemetry_observe = None;
     }
   in
   cluster_ref := Some t;
+  (match telemetry with None -> () | Some registry -> attach_telemetry t registry);
   t
 
 let config t = t.config

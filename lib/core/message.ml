@@ -18,6 +18,34 @@ type t =
   | Failure_announce of { failed : int list }
   | Backup_copy of { target : int; write : Raid_storage.Database.write }
 
+let kind = function
+  | Begin_txn _ -> "begin_txn"
+  | Recover_command -> "recover_command"
+  | Failure_noticed _ -> "failure_noticed"
+  | Terminate_command -> "terminate_command"
+  | Departure_announce _ -> "departure_announce"
+  | Prepare _ -> "prepare"
+  | Prepare_ack _ -> "prepare_ack"
+  | Commit _ -> "commit"
+  | Commit_ack _ -> "commit_ack"
+  | Abort _ -> "abort"
+  | Copy_request _ -> "copy_request"
+  | Copy_reply _ -> "copy_reply"
+  | Copy_unavailable _ -> "copy_unavailable"
+  | Faillocks_cleared _ -> "faillocks_cleared"
+  | Recovery_announce _ -> "recovery_announce"
+  | Recovery_state _ -> "recovery_state"
+  | Failure_announce _ -> "failure_announce"
+  | Backup_copy _ -> "backup_copy"
+
+let all_kinds =
+  [
+    "begin_txn"; "recover_command"; "failure_noticed"; "terminate_command"; "departure_announce";
+    "prepare"; "prepare_ack"; "commit"; "commit_ack"; "abort"; "copy_request"; "copy_reply";
+    "copy_unavailable"; "faillocks_cleared"; "recovery_announce"; "recovery_state";
+    "failure_announce"; "backup_copy";
+  ]
+
 let describe = function
   | Begin_txn txn -> Printf.sprintf "begin_txn(%d)" txn.Txn.id
   | Recover_command -> "recover_command"

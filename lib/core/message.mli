@@ -58,6 +58,15 @@ type t =
       (** control-3: [target] must materialise the copy; other receivers
           just update their placement view *)
 
+val kind : t -> string
+(** Stable snake_case tag of the constructor alone ("prepare",
+    "copy_request", ...) — unlike {!describe} it carries no transaction
+    ids, so it is usable as a metric label. *)
+
+val all_kinds : string list
+(** Every {!kind} value, in constructor order — lets instrumentation
+    pre-register one counter per kind so all series are aligned. *)
+
 val describe : t -> string
 (** Short human-readable tag for traces and logs. *)
 

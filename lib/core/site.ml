@@ -155,6 +155,22 @@ let is_recovering t = Faillock.any_locked_for t.faillocks ~site:t.id
 let is_waiting t = match t.mode with Waiting_recovery _ -> true | Normal -> false
 let session_number t = Session.session t.vector t.id
 
+(* Sum of the in-flight coordinated transactions' pending-set
+   cardinalities; [remaining] caches the set bits of each phase's
+   bitset, so this is O(in-flight txns), not O(sites). *)
+let pending_2pc t =
+  Hashtbl.fold
+    (fun _ coord acc ->
+      acc
+      +
+      match coord.phase with
+      | Copying { remaining; _ } -> remaining
+      | Preparing { remaining; _ } -> remaining
+      | Committing { remaining; _ } -> remaining)
+    t.coords 0
+
+let buffered_prepares t = Hashtbl.length t.pending_prepares
+
 let on_crash t =
   Hashtbl.reset t.coords;
   t.batch <- None;

@@ -76,6 +76,16 @@ val is_waiting : t -> bool
 val session_number : t -> int
 (** This site's own current session number. *)
 
+val pending_2pc : t -> int
+(** Sum over this site's in-flight coordinated transactions of the
+    pending-acknowledgement set cardinality (copier sources awaited,
+    phase-1 acks, phase-2 acks) — 0 at quiescence.  O(in-flight
+    transactions): the bitset cardinalities are cached. *)
+
+val buffered_prepares : t -> int
+(** Participant-side phase-1 write sets buffered awaiting the
+    coordinator's decision — 0 at quiescence. *)
+
 val on_crash : t -> unit
 (** Reset volatile state (in-flight coordination, buffered phase-1
     writes).  The cluster driver calls this when it fails the site;

@@ -21,6 +21,11 @@ type counters = {
   timer_discarded : int;
 }
 
+type 'm probe = {
+  on_event : at:Vtime.t -> 'm event -> cost:Vtime.t -> unit;
+  on_advance : at:Vtime.t -> unit;
+}
+
 (* Hot-path accounting: updated in place on every event.  The public
    [counters] record above stays immutable; [counters t] takes a
    snapshot copy.  Rebuilding a five-field record per delivered message
@@ -62,6 +67,8 @@ type 'm t = {
   trace_enabled : bool;
   mutable trace_rev : 'm trace_entry list;
   mutable ctxs : 'm ctx array;  (* per-site scratch, reset on each invoke *)
+  mutable probe : 'm probe option;
+  mutable heap_high_water : int;
 }
 
 and 'm handler = 'm ctx -> 'm event -> unit
@@ -103,6 +110,8 @@ let create ?(message_latency = Vtime.of_ms 9) ?failure_timeout ?(trace = false) 
       trace_enabled = trace;
       trace_rev = [];
       ctxs = [||];
+      probe = None;
+      heap_high_water = 0;
     }
   in
   t.ctxs <-
@@ -152,10 +161,15 @@ let link_latency t a b =
   check_site t b;
   t.latencies.(a).(b)
 
+let set_probe t probe = t.probe <- probe
+let heap_high_water t = t.heap_high_water
+
 let schedule t at action =
   let at = max at t.clock in
   Heap.Prio.push t.queue ~at ~seq:t.seq action;
-  t.seq <- t.seq + 1
+  t.seq <- t.seq + 1;
+  let depth = Heap.Prio.size t.queue in
+  if depth > t.heap_high_water then t.heap_high_water <- depth
 
 let record_trace t ~time ~src ~dst ~payload ~outcome =
   if t.trace_enabled then
@@ -196,7 +210,12 @@ let invoke t site event =
     let ctx = t.ctxs.(site) in
     ctx.base <- t.clock;
     ctx.elapsed <- Vtime.zero;
-    handler ctx event
+    handler ctx event;
+    (* After the handler returns, [ctx.elapsed] is the total virtual
+       cost it accumulated through [work] — the per-event profile. *)
+    match t.probe with
+    | None -> ()
+    | Some probe -> probe.on_event ~at:t.clock event ~cost:ctx.elapsed
 
 let deliverable t ~src ~dst = t.alive.(dst) && (src < 0 || link_ok t src dst)
 
@@ -234,6 +253,7 @@ let step t =
         invoke t dst (Timer payload)
       end
       else t.live.live_timer_discarded <- t.live.live_timer_discarded + 1);
+    (match t.probe with None -> () | Some probe -> probe.on_advance ~at:t.clock);
     true
   end
 

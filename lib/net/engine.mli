@@ -142,6 +142,33 @@ val run : ?max_events:int -> 'm t -> unit
 
 val pending_events : _ t -> int
 
+(** {2 Profiling hooks}
+
+    The engine cannot depend on the observability layer (the dependency
+    points the other way), so profiling is exposed as a generic probe
+    the owner installs; {!Raid_core.Cluster} wires it into a telemetry
+    registry.  With no probe installed the cost is one [None] branch
+    per event. *)
+
+type 'm probe = {
+  on_event : at:Vtime.t -> 'm event -> cost:Vtime.t -> unit;
+      (** After each handled event: the event, its processing time and
+          the virtual cost the handler accumulated through [work].
+          Not called for undeliverable arrivals or discarded timers
+          (no handler ran). *)
+  on_advance : at:Vtime.t -> unit;
+      (** After every processed queue entry (including undeliverable /
+          discarded ones), with the engine clock — the natural place to
+          drive virtual-time sampling. *)
+}
+
+val set_probe : 'm t -> 'm probe option -> unit
+(** Install or remove the probe (at most one; [None] removes). *)
+
+val heap_high_water : _ t -> int
+(** Highest event-queue depth observed since creation (tracked
+    unconditionally; one integer comparison per scheduled event). *)
+
 (** {2 Accounting} *)
 
 type counters = {

@@ -21,8 +21,14 @@ let escape buffer s =
       | c -> Buffer.add_char buffer c)
     s
 
+(* Non-finite floats use the Python-json spellings (strict JSON has no
+   representation for them at all, and silently emitting "nan" produces
+   a document nothing can read back). *)
 let float_repr f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 
 let to_string ?(indent = false) t =
@@ -237,6 +243,11 @@ let parse input =
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null
+    | Some 'N' -> literal "NaN" (Float Float.nan)
+    | Some 'I' -> literal "Infinity" (Float Float.infinity)
+    | Some '-' when !pos + 1 < n && input.[!pos + 1] = 'I' ->
+      advance ();
+      literal "Infinity" (Float Float.neg_infinity)
     | Some ('-' | '0' .. '9') -> parse_number ()
     | Some c -> fail (Printf.sprintf "unexpected %C" c)
   in

@@ -22,7 +22,9 @@ val to_string : ?indent:bool -> t -> string
 val parse : string -> (t, string) result
 (** Strict parser for the subset this library emits plus standard JSON
     escapes; numbers with a fraction or exponent become [Float], others
-    [Int].  Errors carry a character offset. *)
+    [Int].  Non-finite floats round-trip through the Python-json
+    spellings [NaN], [Infinity] and [-Infinity].  Errors carry a
+    character offset. *)
 
 val member : string -> t -> t option
 (** [member key (Obj ...)] — [None] on a missing key or a non-object. *)

@@ -1,0 +1,71 @@
+(* HELP text escapes only backslash and newline (the exposition format
+   leaves quotes alone there, unlike label values). *)
+let escape_help s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let escape_label_value s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buffer "\\\\"
+      | '"' -> Buffer.add_string buffer "\\\""
+      | '\n' -> Buffer.add_string buffer "\\n"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+(* Render a label set as {k="v",...}; [extra] appends one more pair
+   (the histogram [le] bound). *)
+let label_set ?extra labels =
+  let pairs =
+    List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+    @ (match extra with None -> [] | Some (k, v) -> [ Printf.sprintf "%s=\"%s\"" k v ])
+  in
+  if pairs = [] then "" else "{" ^ String.concat "," pairs ^ "}"
+
+let kind_name = function
+  | Telemetry.Counter -> "counter"
+  | Telemetry.Gauge -> "gauge"
+  | Telemetry.Histogram -> "histogram"
+
+let render registry =
+  let buffer = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let last_name = ref "" in
+  List.iter
+    (fun (v : Telemetry.view) ->
+      if v.Telemetry.v_name <> !last_name then begin
+        last_name := v.Telemetry.v_name;
+        if v.Telemetry.v_help <> "" then
+          out "# HELP %s %s\n" v.Telemetry.v_name (escape_help v.Telemetry.v_help);
+        out "# TYPE %s %s\n" v.Telemetry.v_name (kind_name v.Telemetry.v_kind)
+      end;
+      match v.Telemetry.v_kind with
+      | Telemetry.Counter | Telemetry.Gauge ->
+        out "%s%s %s\n" v.Telemetry.v_name
+          (label_set v.Telemetry.v_labels)
+          (Telemetry.float_repr v.Telemetry.v_value)
+      | Telemetry.Histogram ->
+        List.iter
+          (fun (bound, cumulative) ->
+            out "%s_bucket%s %d\n" v.Telemetry.v_name
+              (label_set ~extra:("le", Telemetry.float_repr bound) v.Telemetry.v_labels)
+              cumulative)
+          v.Telemetry.v_buckets;
+        out "%s_sum%s %s\n" v.Telemetry.v_name
+          (label_set v.Telemetry.v_labels)
+          (Telemetry.float_repr v.Telemetry.v_sum);
+        out "%s_count%s %s\n" v.Telemetry.v_name
+          (label_set v.Telemetry.v_labels)
+          (Telemetry.float_repr v.Telemetry.v_value))
+    (Telemetry.views registry);
+  Buffer.contents buffer

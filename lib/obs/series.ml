@@ -1,0 +1,39 @@
+module Vtime = Raid_net.Vtime
+
+type t = {
+  mutable times : int array;  (* Vtime.t is an int count of microseconds *)
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create () = { times = [||]; values = [||]; len = 0 }
+
+let grow t =
+  let capacity = max 16 (2 * Array.length t.times) in
+  let times = Array.make capacity 0 in
+  let values = Array.make capacity 0.0 in
+  Array.blit t.times 0 times 0 t.len;
+  Array.blit t.values 0 values 0 t.len;
+  t.times <- times;
+  t.values <- values
+
+let push t ~at value =
+  if t.len = Array.length t.times then grow t;
+  t.times.(t.len) <- at;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Series.get: index out of range";
+  (t.times.(i), t.values.(i))
+
+let last t = if t.len = 0 then None else Some (t.times.(t.len - 1), t.values.(t.len - 1))
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f ~at:t.times.(i) t.values.(i)
+  done
+
+let to_list t = List.init t.len (fun i -> (t.times.(i), t.values.(i)))

@@ -1,0 +1,231 @@
+module Vtime = Raid_net.Vtime
+
+type labels = (string * string) list
+
+type kind = Counter | Gauge | Histogram
+
+type counter = { mutable total : float }
+
+type histogram = {
+  bounds : float array;  (* upper bounds, strictly increasing; +Inf implicit *)
+  counts : int array;  (* length = Array.length bounds + 1 *)
+  mutable hsum : float;
+  mutable hcount : int;
+}
+
+type source =
+  | Owned of counter
+  | Polled of (unit -> float)
+  | Hist of histogram
+
+type metric = {
+  m_name : string;
+  m_labels : labels;
+  m_labels_str : string;
+  m_help : string;
+  m_kind : kind;
+  m_source : source;
+  m_series : Series.t;
+}
+
+type t = {
+  ivl : Vtime.t;
+  mutable metrics_rev : metric list;
+  mutable next_due : Vtime.t;
+  mutable last_at : Vtime.t;  (* stamp of the most recent sample; -1 = none *)
+  mutable samples : int;
+}
+
+let labels_string labels =
+  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+
+let float_repr f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let create ?(interval = Vtime.of_ms 100) () =
+  if interval <= 0 then invalid_arg "Telemetry.create: interval must be positive";
+  { ivl = interval; metrics_rev = []; next_due = interval; last_at = -1; samples = 0 }
+
+let interval t = t.ivl
+
+let valid_name name =
+  name <> ""
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+let register t ~labels ~help ~kind ~source name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Telemetry: ill-formed metric name %S" name);
+  let labels = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec dup_key = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a = b || dup_key rest
+    | _ -> false
+  in
+  if dup_key labels then
+    invalid_arg (Printf.sprintf "Telemetry: duplicate label key on metric %S" name);
+  let labels_str = labels_string labels in
+  List.iter
+    (fun m ->
+      if m.m_name = name && m.m_labels_str = labels_str then
+        invalid_arg (Printf.sprintf "Telemetry: metric %S{%s} already registered" name labels_str);
+      if m.m_name = name && m.m_kind <> kind then
+        invalid_arg (Printf.sprintf "Telemetry: metric %S registered with two kinds" name))
+    t.metrics_rev;
+  t.metrics_rev <-
+    {
+      m_name = name;
+      m_labels = labels;
+      m_labels_str = labels_str;
+      m_help = help;
+      m_kind = kind;
+      m_source = source;
+      m_series = Series.create ();
+    }
+    :: t.metrics_rev
+
+let counter t ?(labels = []) ?(help = "") name =
+  let c = { total = 0.0 } in
+  register t ~labels ~help ~kind:Counter ~source:(Owned c) name;
+  c
+
+let polled_counter t ?(labels = []) ?(help = "") name poll =
+  register t ~labels ~help ~kind:Counter ~source:(Polled poll) name
+
+let gauge t ?(labels = []) ?(help = "") name poll =
+  register t ~labels ~help ~kind:Gauge ~source:(Polled poll) name
+
+let default_buckets = [ 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0; 2048.0; 4096.0 ]
+
+let histogram t ?(labels = []) ?(help = "") ?(buckets = default_buckets) name =
+  if buckets = [] then invalid_arg "Telemetry.histogram: empty bucket list";
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  if not (increasing buckets) then
+    invalid_arg "Telemetry.histogram: bucket bounds must be strictly increasing";
+  let bounds = Array.of_list buckets in
+  let h = { bounds; counts = Array.make (Array.length bounds + 1) 0; hsum = 0.0; hcount = 0 } in
+  register t ~labels ~help ~kind:Histogram ~source:(Hist h) name;
+  h
+
+let incr c = c.total <- c.total +. 1.0
+let add c x = c.total <- c.total +. x
+let counter_value c = c.total
+
+let observe h x =
+  (* Linear scan: bucket lists are short and observations are per
+     transaction, not per event. *)
+  let n = Array.length h.bounds in
+  let rec bucket i = if i >= n || x <= h.bounds.(i) then i else bucket (i + 1) in
+  let b = bucket 0 in
+  h.counts.(b) <- h.counts.(b) + 1;
+  h.hsum <- h.hsum +. x;
+  h.hcount <- h.hcount + 1
+
+let current m =
+  match m.m_source with
+  | Owned c -> c.total
+  | Polled poll -> poll ()
+  | Hist h -> float_of_int h.hcount
+
+let sample_at t at =
+  List.iter (fun m -> Series.push m.m_series ~at (current m)) (List.rev t.metrics_rev);
+  t.last_at <- at;
+  t.samples <- t.samples + 1
+
+let maybe_sample t ~at =
+  while t.next_due <= at do
+    sample_at t t.next_due;
+    t.next_due <- Vtime.add t.next_due t.ivl
+  done
+
+let sample_now t ~at =
+  if t.last_at <> at then begin
+    (* Keep the interval grid anchored at zero: a final flush must not
+       shift subsequent due times (there are none in practice, but the
+       invariant keeps [maybe_sample] and [sample_now] commutative). *)
+    maybe_sample t ~at;
+    if t.last_at <> at then sample_at t at
+  end
+
+let samples_taken t = t.samples
+
+type view = {
+  v_name : string;
+  v_labels : labels;
+  v_help : string;
+  v_kind : kind;
+  v_value : float;
+  v_buckets : (float * int) list;
+  v_sum : float;
+  v_series : Series.t;
+}
+
+let view_of_metric m =
+  let buckets, sum =
+    match m.m_source with
+    | Hist h ->
+      let cumulative = ref 0 in
+      let finite =
+        Array.to_list
+          (Array.mapi
+             (fun i bound ->
+               cumulative := !cumulative + h.counts.(i);
+               (bound, !cumulative))
+             h.bounds)
+      in
+      (finite @ [ (Float.infinity, h.hcount) ], h.hsum)
+    | Owned _ | Polled _ -> ([], 0.0)
+  in
+  {
+    v_name = m.m_name;
+    v_labels = m.m_labels;
+    v_help = m.m_help;
+    v_kind = m.m_kind;
+    v_value = current m;
+    v_buckets = buckets;
+    v_sum = sum;
+    v_series = m.m_series;
+  }
+
+let sorted_metrics t =
+  List.sort
+    (fun a b ->
+      match String.compare a.m_name b.m_name with
+      | 0 -> String.compare a.m_labels_str b.m_labels_str
+      | c -> c)
+    t.metrics_rev
+
+let views t = List.map view_of_metric (sorted_metrics t)
+
+let find t ?(labels = []) name =
+  let labels_str =
+    labels_string (List.sort (fun (a, _) (b, _) -> String.compare a b) labels)
+  in
+  List.find_opt (fun m -> m.m_name = name && m.m_labels_str = labels_str) t.metrics_rev
+  |> Option.map view_of_metric
+
+let to_csv t =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer "metric,labels,t_ms,value\n";
+  List.iter
+    (fun m ->
+      Series.iter m.m_series (fun ~at value ->
+          Buffer.add_string buffer m.m_name;
+          Buffer.add_char buffer ',';
+          Buffer.add_string buffer m.m_labels_str;
+          Buffer.add_char buffer ',';
+          (* Vtime is integer microseconds, so three decimals are exact. *)
+          Buffer.add_string buffer (Printf.sprintf "%.3f" (Vtime.to_ms at));
+          Buffer.add_char buffer ',';
+          Buffer.add_string buffer (float_repr value);
+          Buffer.add_char buffer '\n'))
+    (sorted_metrics t);
+  Buffer.contents buffer

@@ -1,0 +1,130 @@
+(** Typed metrics registry sampled at a virtual-time interval.
+
+    The paper's experiments are measurements — fail-locks set and
+    cleared, copier transactions requested, recovery-time breakdowns —
+    but {!Raid_core.Metrics} only exposes end-of-run aggregates and
+    {!Trace} raw events.  This registry is the middle layer: named
+    metrics (counters, gauges, histograms, keyed by name plus static
+    labels such as [site]/[kind]) whose values are sampled into
+    in-memory {!Series} at a configurable {e virtual}-time interval.
+    Exports: Prometheus text exposition ({!Prom}) and long-form CSV
+    ({!to_csv}).
+
+    Cost discipline (the {!Trace.sink} trick): nothing here is global
+    and nothing is wired into the simulator by default.  A cluster
+    created without a registry pays one [None] branch per engine event;
+    with a registry, counters are one float store and sampling happens
+    only when the engine's clock crosses a multiple of the interval.
+
+    Determinism: samples are stamped with the {e due} virtual time (the
+    crossed multiple of the interval), never the host clock, and
+    exports emit metrics in sorted (name, labels) order — so a sampled
+    run renders byte-identically across hosts and [-j] domain counts. *)
+
+type t
+
+type labels = (string * string) list
+(** Static labels, e.g. [("site", "3")].  Stored sorted by key; keys
+    must be unique within one metric. *)
+
+type kind = Counter | Gauge | Histogram
+
+type counter
+(** An incrementing total owned by the instrumented code: updating is a
+    single mutable float store. *)
+
+type histogram
+(** Fixed cumulative buckets plus running sum and count. *)
+
+val create : ?interval:Raid_net.Vtime.t -> unit -> t
+(** A fresh registry.  [interval] (default 100 virtual ms) is the
+    sampling period: {!maybe_sample} records one point per metric at
+    every crossed multiple of it.
+    @raise Invalid_argument on a non-positive interval. *)
+
+val interval : t -> Raid_net.Vtime.t
+
+(** {2 Registration}
+
+    All registration functions raise [Invalid_argument] on a duplicate
+    (name, labels) pair, an ill-formed metric name (expected
+    [[a-zA-Z_][a-zA-Z0-9_]*]), or duplicate label keys. *)
+
+val counter : t -> ?labels:labels -> ?help:string -> string -> counter
+(** An owned counter starting at 0; bump it with {!incr}/{!add}. *)
+
+val polled_counter : t -> ?labels:labels -> ?help:string -> string -> (unit -> float) -> unit
+(** A counter whose running total already lives elsewhere (e.g. a
+    {!Raid_core.Metrics} field); the closure is polled at each sample
+    and at export.  It must be monotone for the Prometheus [counter]
+    type to be truthful — not checked. *)
+
+val gauge : t -> ?labels:labels -> ?help:string -> string -> (unit -> float) -> unit
+(** A polled instantaneous value (table sizes, queue depths). *)
+
+val histogram : t -> ?labels:labels -> ?help:string -> ?buckets:float list -> string -> histogram
+(** Cumulative-bucket histogram; [buckets] are upper bounds in strictly
+    increasing order (default powers-of-two milliseconds 1..4096), with
+    an implicit [+Inf] bucket appended.  Its sampled series records the
+    observation count over time.
+    @raise Invalid_argument on an empty or non-increasing bucket list. *)
+
+(** {2 Updates (hot path)} *)
+
+val incr : counter -> unit
+val add : counter -> float -> unit
+val counter_value : counter -> float
+val observe : histogram -> float -> unit
+
+(** {2 Sampling} *)
+
+val maybe_sample : t -> at:Raid_net.Vtime.t -> unit
+(** Record one point per metric for every multiple of the interval in
+    ((last sampled due time), [at]]; each point is stamped with the due
+    time, not [at].  Cheap when no boundary was crossed (one comparison). *)
+
+val sample_now : t -> at:Raid_net.Vtime.t -> unit
+(** Unconditionally record a final point stamped [at] — call once at
+    the end of a run so the series cover the tail.  No-op if the last
+    sample is already stamped [at]. *)
+
+val samples_taken : t -> int
+(** Sampling instants so far (including a final {!sample_now}). *)
+
+(** {2 Read side / export} *)
+
+type view = {
+  v_name : string;
+  v_labels : labels;  (** sorted by key *)
+  v_help : string;
+  v_kind : kind;
+  v_value : float;
+      (** counters: running total; gauges: polled now; histograms:
+          observation count *)
+  v_buckets : (float * int) list;
+      (** histograms only: (upper bound, cumulative count), ending with
+          the [+Inf] ([infinity]) bucket; empty otherwise *)
+  v_sum : float;  (** histograms only: sum of observations *)
+  v_series : Series.t;
+}
+
+val views : t -> view list
+(** Every registered metric, sorted by (name, rendered labels) — the
+    deterministic export order. *)
+
+val find : t -> ?labels:labels -> string -> view option
+
+val to_csv : t -> string
+(** Long-form CSV, one row per sampled point:
+    [metric,labels,t_ms,value] with labels rendered as
+    [key=value;key=value] (empty for an unlabelled metric) and times in
+    milliseconds with microsecond precision. *)
+
+val labels_string : labels -> string
+(** [key=value;key=value], sorted by key; [""] when empty. *)
+
+val float_repr : float -> string
+(** Numeric rendering shared by the CSV and Prometheus exports:
+    integers without a fraction part, other finite floats with 17
+    significant digits (round-trip exact), and ["NaN"]/["+Inf"]/["-Inf"]
+    for non-finite values. *)

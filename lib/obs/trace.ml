@@ -45,6 +45,7 @@ let sink t =
 
 let emitted t = t.emitted
 let dropped t = max 0 (t.emitted - t.capacity)
+let capacity t = t.capacity
 
 let entries t =
   let count = min t.emitted t.capacity in

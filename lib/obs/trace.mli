@@ -70,6 +70,10 @@ val emitted : t -> int
 (** Total events emitted, including dropped ones. *)
 
 val dropped : t -> int
+(** Events lost to the ring bound: [max 0 (emitted - capacity)]. *)
+
+val capacity : t -> int
+(** The bound the collector was created with. *)
 
 val clear : t -> unit
 

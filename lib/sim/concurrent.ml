@@ -83,10 +83,11 @@ let reap_lost state site =
       state.lost <- state.lost + 1)
     victims
 
-let run ?(seed = 17) ?(concurrency = 4) ?(txns = 200) ?(churn = []) ~config ~workload () =
+let run ?(seed = 17) ?(concurrency = 4) ?(txns = 200) ?(churn = []) ?telemetry ~config
+    ~workload () =
   if concurrency <= 0 then invalid_arg "Concurrent.run: concurrency must be positive";
   if txns <= 0 then invalid_arg "Concurrent.run: txns must be positive";
-  let cluster = Cluster.create config in
+  let cluster = Cluster.create ?telemetry config in
   let generator =
     Workload.create workload ~num_items:config.Config.num_items ~rng:(Rng.create seed)
   in
@@ -108,6 +109,19 @@ let run ?(seed = 17) ?(concurrency = 4) ?(txns = 200) ?(churn = []) ~config ~wor
         let id = Cluster.next_txn_id cluster in
         let txn = Workload.next generator ~id in
         (txn, Lock_manager.of_txn txn));
+  (match telemetry with
+  | None -> ()
+  | Some registry ->
+    let module Telemetry = Raid_obs.Telemetry in
+    Telemetry.gauge registry "raid_lock_table_locked"
+      ~help:"Items locked in the strict-2PL table" (fun () ->
+        float_of_int (Lock_manager.locked_count state.locks));
+    Telemetry.gauge registry "raid_lock_queue_depth"
+      ~help:"Transactions waiting for admission (lock-manager queue depth)" (fun () ->
+        float_of_int (List.length state.waiting));
+    Telemetry.gauge registry "raid_lock_in_flight"
+      ~help:"Transactions currently in flight under the concurrent driver" (fun () ->
+        float_of_int state.in_flight));
   let committed = ref 0 and aborted = ref 0 in
   Cluster.set_outcome_hook cluster
     (Some

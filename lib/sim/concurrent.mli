@@ -32,6 +32,7 @@ val run :
   ?concurrency:int ->
   ?txns:int ->
   ?churn:(int * [ `Fail of int | `Recover of int ]) list ->
+  ?telemetry:Raid_obs.Telemetry.t ->
   config:Raid_core.Config.t ->
   workload:Raid_core.Workload.spec ->
   unit ->
@@ -46,6 +47,10 @@ val run :
     crashed coordinator are counted as [lost]; transactions that had the
     crashed site as a participant abort through the normal Appendix-A
     branches and are re-admitted never (they count as [aborted]).
+
+    [telemetry] additionally registers driver-level gauges
+    ([raid_lock_table_locked], [raid_lock_queue_depth],
+    [raid_lock_in_flight]) on top of the cluster instrumentation.
     @raise Invalid_argument on non-positive [concurrency] or [txns]. *)
 
 type sweep_row = {

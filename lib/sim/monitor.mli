@@ -1,0 +1,39 @@
+(** Telemetry-instrumented scenario runs: the pipeline behind
+    [raid metrics].
+
+    Runs a named scenario with a {!Raid_obs.Telemetry} registry wired
+    into the cluster (see {!Raid_core.Cluster.create}) and renders the
+    sampled series as Prometheus text exposition or long-form CSV.
+    Sampling happens at multiples of the virtual-time interval as the
+    engine processes events, plus one final sample at the quiescent end
+    time — so the output is a pure function of (scenario, interval):
+    byte-identical across runs, hosts and [-j] domain counts. *)
+
+val scenarios : (string * string) list
+(** Named scenarios accepted by {!scenario_of_name}: the tracing
+    scenarios ({!Tracing.scenarios}) plus ["exp1"], a fail/recover
+    cycle on the paper's Experiment-1 configuration (4 sites, 50 items,
+    transactions of up to 10 operations). *)
+
+val scenario_of_name : ?seed:int -> string -> (Scenario.t, string) result
+
+val exp1_scenario : ?seed:int -> unit -> Scenario.t
+(** The ["exp1"] scenario: warm-up transactions, site 0 fails, load
+    continues while down, site 0 recovers on demand, then a settle
+    tail — one trajectory covering every phase the registry gauges
+    track. *)
+
+type output = {
+  registry : Raid_obs.Telemetry.t;
+  result : Runner.result;
+}
+
+val run : ?sample:Raid_net.Vtime.t -> Scenario.t -> output
+(** Run with telemetry attached; [sample] (default 100 virtual ms) is
+    the registry interval.  A final sample is recorded at the engine's
+    quiescent end time. *)
+
+val prom : output -> string
+val csv : output -> string
+
+val render : format:[ `Prom | `Csv ] -> output -> string

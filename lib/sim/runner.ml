@@ -110,9 +110,10 @@ let run_action state ~check_invariants action =
     loop max_txns);
   if check_invariants then check state
 
-let run ?(check_invariants = true) ?(trace = false) ?obs (scenario : Scenario.t) =
+let run ?(check_invariants = true) ?(trace = false) ?obs ?telemetry (scenario : Scenario.t) =
   let cluster =
-    Cluster.create ~detection:scenario.Scenario.detection ~trace ?obs scenario.Scenario.config
+    Cluster.create ~detection:scenario.Scenario.detection ~trace ?obs ?telemetry
+      scenario.Scenario.config
   in
   let rng = Rng.create scenario.Scenario.seed in
   let workload_rng = Rng.split rng in

@@ -28,6 +28,7 @@ val run :
   ?check_invariants:bool ->
   ?trace:bool ->
   ?obs:Raid_obs.Trace.sink ->
+  ?telemetry:Raid_obs.Telemetry.t ->
   Scenario.t ->
   result
 (** Execute the scenario.  With [check_invariants] (default true), the
@@ -35,7 +36,9 @@ val run :
     is raised on violation — experiments double as protocol tests.
     [trace] turns on the network engine's message trace; [obs] receives
     the sites' protocol trace (see {!Tracing} for the assembled
-    pipeline).  Both default to off, which costs nothing.
+    pipeline); [telemetry] is instrumented over the cluster and sampled
+    in virtual time (see {!Monitor}).  All default to off, which costs
+    nothing.
 
     @raise Invalid_argument if a [Fixed] coordinator is down when a
     transaction must be issued, or no site is operational. *)

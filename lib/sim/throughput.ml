@@ -39,6 +39,16 @@ let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
 let default_failure ~sites:_ ~duration_ms =
   { fail_site = 0; fail_at_ms = duration_ms /. 5.0; recover_at_ms = duration_ms /. 2.0 }
 
+type window = {
+  w_start_s : int;
+  w_committed : int;
+  w_aborted : int;
+  w_copiers : int;
+  w_faillocks_set : int;
+  w_faillocks_cleared : int;
+  w_messages : int;
+}
+
 type result = {
   seed : int;
   submitted : int;
@@ -51,8 +61,7 @@ type result = {
   events : int;  (** messages delivered + timers fired, host-side work *)
   messages_sent : int;
   recovered : bool;  (** the failed site completed control-1 (no failure = true) *)
-  windows : (int * int * int) list;
-      (** per-virtual-second window: (window index, committed, aborted) *)
+  windows : window list;  (** per-virtual-second activity, ascending start time *)
 }
 
 let txns_per_vsec r =
@@ -74,10 +83,11 @@ let events_per_sec ~wall_s r =
    The optional failure/recovery pair fires at absolute virtual times
    mid-run, so the measurement covers normal processing, the degraded
    window and the recovery tail in one trajectory. *)
-let run ?(seed = 42) config =
+let run ?(seed = 42) ?telemetry config =
   let ccfg = Config.make ~num_sites:config.sites ~num_items:config.items () in
-  let cluster = Cluster.create ccfg in
+  let cluster = Cluster.create ?telemetry ccfg in
   let engine = Cluster.engine cluster in
+  let metrics = Cluster.metrics cluster in
   let rng = Rng.create seed in
   let workload =
     Workload.create
@@ -108,17 +118,35 @@ let run ?(seed = 42) config =
     if operational = [] then invalid_arg "Throughput: no operational site";
     Rng.choose rng operational
   in
+  (* Each window keeps its commit/abort tallies plus a snapshot of the
+     cumulative protocol counters at its last recorded transaction; the
+     snapshots are diffed into per-window activity once the run ends.
+     Activity between two recorded windows (e.g. control traffic in a
+     second with no completions) lands in the next recorded window. *)
   let record outcome =
     let window = int_of_float (now_ms () /. 1000.0) in
-    let c, a = Option.value ~default:(0, 0) (Hashtbl.find_opt windows window) in
-    if outcome.Metrics.committed then begin
-      incr committed;
-      Hashtbl.replace windows window (c + 1, a)
-    end
-    else begin
-      incr aborted;
-      Hashtbl.replace windows window (c, a + 1)
-    end
+    let c, a =
+      match Hashtbl.find_opt windows window with
+      | Some (c, a, _, _, _, _) -> (c, a)
+      | None -> (0, 0)
+    in
+    let c, a =
+      if outcome.Metrics.committed then begin
+        incr committed;
+        (c + 1, a)
+      end
+      else begin
+        incr aborted;
+        (c, a + 1)
+      end
+    in
+    Hashtbl.replace windows window
+      ( c,
+        a,
+        metrics.Metrics.copier_requests,
+        metrics.Metrics.faillocks_set,
+        metrics.Metrics.faillocks_cleared,
+        (Engine.counters engine).Engine.sent )
   in
   while now_ms () < config.duration_ms do
     (match fail_due () with
@@ -137,7 +165,9 @@ let run ?(seed = 42) config =
     incr submitted;
     record (Cluster.submit cluster ~coordinator:(pick_coordinator ()) (Workload.next workload ~id))
   done;
-  let metrics = Cluster.metrics cluster in
+  (match telemetry with
+  | None -> ()
+  | Some registry -> Raid_obs.Telemetry.sample_now registry ~at:(Engine.now engine));
   let counters = Engine.counters engine in
   {
     seed;
@@ -152,7 +182,24 @@ let run ?(seed = 42) config =
     messages_sent = counters.Engine.sent;
     recovered = (match config.failure with None -> true | Some _ -> !recovered_once);
     windows =
-      List.sort compare (Hashtbl.fold (fun w (c, a) acc -> (w, c, a) :: acc) windows []);
+      (let raw =
+         List.sort compare (Hashtbl.fold (fun w v acc -> (w, v) :: acc) windows [])
+       in
+       let prev = ref (0, 0, 0, 0) in
+       List.map
+         (fun (w, (c, a, cop, fs, fc, sent)) ->
+           let pcop, pfs, pfc, psent = !prev in
+           prev := (cop, fs, fc, sent);
+           {
+             w_start_s = w;
+             w_committed = c;
+             w_aborted = a;
+             w_copiers = cop - pcop;
+             w_faillocks_set = fs - pfs;
+             w_faillocks_cleared = fc - pfc;
+             w_messages = sent - psent;
+           })
+         raw);
   }
 
 (* Multi-seed sweep: each seed is an independent pure run, so the batch
@@ -209,8 +256,12 @@ let summary results =
 
 let windows_csv r =
   let buffer = Buffer.create 256 in
-  Buffer.add_string buffer "virtual_s,committed,aborted\n";
+  Buffer.add_string buffer
+    "virtual_s,committed,aborted,copier_requests,faillocks_set,faillocks_cleared,messages_sent\n";
   List.iter
-    (fun (w, c, a) -> Buffer.add_string buffer (Printf.sprintf "%d,%d,%d\n" w c a))
+    (fun w ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%d,%d,%d,%d,%d,%d,%d\n" w.w_start_s w.w_committed w.w_aborted
+           w.w_copiers w.w_faillocks_set w.w_faillocks_cleared w.w_messages))
     r.windows;
   Buffer.contents buffer

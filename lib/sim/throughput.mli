@@ -40,6 +40,21 @@ val default_failure : sites:int -> duration_ms:float -> failure
     absolute times, so extending the duration afterwards still yields a
     prefix-compatible schedule. *)
 
+type window = {
+  w_start_s : int;  (** window start, in whole virtual seconds *)
+  w_committed : int;
+  w_aborted : int;
+  w_copiers : int;  (** copier transactions requested in this window *)
+  w_faillocks_set : int;
+  w_faillocks_cleared : int;
+  w_messages : int;  (** messages submitted in this window *)
+}
+(** One virtual second of activity.  Commit/abort counts are exact per
+    window; the protocol counters are cumulative snapshots at each
+    window's last completed transaction, diffed between consecutive
+    {e recorded} windows — activity in a second with no completions
+    lands in the next recorded window. *)
+
 type result = {
   seed : int;
   submitted : int;
@@ -52,12 +67,15 @@ type result = {
   events : int;  (** messages delivered + timers fired *)
   messages_sent : int;
   recovered : bool;
-  windows : (int * int * int) list;
-      (** (virtual second, committed, aborted) trajectory *)
+  windows : window list;  (** ascending start time *)
 }
 
-val run : ?seed:int -> config -> result
-(** One deterministic run: a pure function of [seed] and [config]. *)
+val run : ?seed:int -> ?telemetry:Raid_obs.Telemetry.t -> config -> result
+(** One deterministic run: a pure function of [seed] and [config].
+    [telemetry] is instrumented over the cluster
+    ({!Raid_core.Cluster.create}) and sampled in virtual time as the
+    stream runs, with a final sample at the end; it observes the run
+    without changing any result field. *)
 
 val run_seeds : ?domains:int -> ?base_seed:int -> seeds:int -> config -> result list
 (** [seeds] independent runs ([base_seed], [base_seed+1], ...) fanned out
@@ -81,4 +99,5 @@ val summary :
 (** (txns/vsec, abort rate, events) across runs. *)
 
 val windows_csv : result -> string
-(** The per-virtual-second trajectory as CSV. *)
+(** The per-virtual-second trajectory as CSV with header
+    [virtual_s,committed,aborted,copier_requests,faillocks_set,faillocks_cleared,messages_sent]. *)

@@ -30,8 +30,8 @@ type output = {
   num_sites : int;
 }
 
-let run scenario =
-  let collector = Trace.create () in
+let run ?capacity scenario =
+  let collector = Trace.create ?capacity () in
   let result = Runner.run ~trace:true ~obs:(Trace.sink collector) scenario in
   let engine = Cluster.engine result.Runner.cluster in
   let messages =

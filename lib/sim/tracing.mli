@@ -30,8 +30,11 @@ type output = {
   num_sites : int;
 }
 
-val run : Scenario.t -> output
-(** Run with tracing enabled (protocol events and engine messages). *)
+val run : ?capacity:int -> Scenario.t -> output
+(** Run with tracing enabled (protocol events and engine messages).
+    [capacity] bounds the ring-buffer collector (default 65536 entries);
+    when a run emits more, the oldest entries are dropped and counted —
+    check {!Raid_obs.Trace.dropped} on [output.trace] and warn. *)
 
 val jsonl : output -> string
 val chrome : output -> string

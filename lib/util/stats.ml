@@ -26,18 +26,25 @@ let stddev samples =
     let sum_sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
     sqrt (sum_sq /. float_of_int (n - 1))
 
+(* Linear interpolation on rank p*(n-1) (the "exclusive" convention, as
+   in numpy's default): p=0 is the minimum, p=1 the maximum, and small
+   samples interpolate rather than snap to an extreme — p99 of 10
+   samples sits just below the max instead of on it.  The index clamps
+   guard the float arithmetic at the boundaries: rank can only land
+   outside [0, n-1] through rounding, and without the clamp that would
+   read out of bounds rather than degrade gracefully. *)
 let percentile p samples =
   if p < 0.0 || p > 1.0 then invalid_arg "Stats.percentile: p outside [0,1]";
   let samples = require_nonempty samples in
   let sorted = Array.of_list samples in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   if n = 1 then sorted.(0)
   else
     let rank = p *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor rank) in
+    let lo = max 0 (min (n - 1) (int_of_float (Float.floor rank))) in
     let hi = min (lo + 1) (n - 1) in
-    let frac = rank -. float_of_int lo in
+    let frac = Float.max 0.0 (Float.min 1.0 (rank -. float_of_int lo)) in
     sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
 
 let summarize samples =

@@ -25,6 +25,7 @@ let () =
       ("partition", Test_partition.suite);
       ("termination", Test_termination.suite);
       ("obs", Test_obs.suite);
+      ("telemetry", Test_telemetry.suite);
       ("sim", Test_sim.suite);
       ("throughput", Test_throughput.suite);
       ("analysis", Test_analysis.suite);

@@ -48,6 +48,51 @@ let test_json_parse_escapes () =
       "array length" 6
       (match Json.member "xs" v with Some xs -> List.length (Json.to_list xs) | None -> -1)
 
+let test_json_nonfinite_roundtrip () =
+  (* Non-finite floats use the Python-json spellings; [=] is useless on
+     NaN so the round-trip is checked with polymorphic [compare] (which
+     treats equal NaNs as equal) plus explicit spelling checks. *)
+  let value =
+    Json.Arr [ Json.Float Float.nan; Json.Float Float.infinity; Json.Float Float.neg_infinity ]
+  in
+  Alcotest.(check string) "spellings" "[NaN,Infinity,-Infinity]" (Json.to_string value);
+  (match Json.parse (Json.to_string value) with
+  | Error e -> Alcotest.fail e
+  | Ok parsed ->
+    Alcotest.(check int) "round-trips structurally" 0 (compare parsed value);
+    (match parsed with
+    | Json.Arr [ Json.Float a; Json.Float b; Json.Float c ] ->
+      Alcotest.(check bool) "NaN parses to NaN" true (Float.is_nan a);
+      Alcotest.(check bool) "infinities parse" true
+        (b = Float.infinity && c = Float.neg_infinity)
+    | _ -> Alcotest.fail "unexpected shape"));
+  (* Negative finite numbers still parse through the number path. *)
+  Alcotest.(check int) "-1.5 unaffected" 0
+    (compare (parse_exn "neg" "-1.5") (Json.Float (-1.5)));
+  match Json.parse "[-Inf]" with
+  | Ok _ -> Alcotest.fail "truncated spelling must not parse"
+  | Error _ -> ()
+
+let test_json_float_precision () =
+  (* %.17g is enough digits to reconstruct any double exactly. *)
+  let values =
+    [ 0.1; 1.0000000000000002; 1e-300; 1.7976931348623157e308; -4.9e-324; 3.5; -0.0 ]
+  in
+  List.iter
+    (fun f ->
+      match parse_exn "float" (Json.to_string (Json.Float f)) with
+      | Json.Float g ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%h survives" f)
+          true
+          (Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float g))
+      | Json.Int g ->
+        (* Integer-valued floats print without a point and read back as
+           ints; the numeric value must still match. *)
+        Alcotest.(check bool) (Printf.sprintf "%h as int" f) true (float_of_int g = f)
+      | _ -> Alcotest.fail "not a number")
+    values
+
 let test_json_parse_errors () =
   let bad = [ "{"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "tru"; "1 2" ] in
   List.iter
@@ -78,6 +123,32 @@ let test_ring_buffer () =
   Alcotest.check_raises "capacity validated"
     (Invalid_argument "Trace.create: capacity must be positive") (fun () ->
       ignore (Trace.create ~capacity:0 ()))
+
+let test_ring_multi_wrap_accounting () =
+  (* Several full wraps: the drop count keeps growing while the retained
+     window stays exactly the last [capacity] entries, in order. *)
+  let t = Trace.create ~capacity:3 () in
+  let sink = Trace.sink t in
+  Alcotest.(check int) "capacity exposed" 3 (Trace.capacity t);
+  for i = 1 to 11 do
+    sink.Trace.emit ~at:(Raid_net.Vtime.of_ms i) ~site:0 (Trace.Txn_commit { txn = i });
+    Alcotest.(check int)
+      (Printf.sprintf "dropped after %d" i)
+      (max 0 (i - 3))
+      (Trace.dropped t)
+  done;
+  Alcotest.(check int) "emitted counts everything" 11 (Trace.emitted t);
+  let txns =
+    List.map
+      (fun e -> match e.Trace.event with Trace.Txn_commit { txn } -> txn | _ -> -1)
+      (Trace.entries t)
+  in
+  Alcotest.(check (list int)) "retains the newest window" [ 9; 10; 11 ] txns;
+  (* Clearing resets the drop accounting with the buffer. *)
+  Trace.clear t;
+  Alcotest.(check int) "dropped resets" 0 (Trace.dropped t);
+  sink.Trace.emit ~at:(Raid_net.Vtime.of_ms 1) ~site:0 (Trace.Txn_commit { txn = 1 });
+  Alcotest.(check int) "sink still live after clear" 1 (Trace.emitted t)
 
 (* {2 Change hooks} *)
 
@@ -227,8 +298,11 @@ let suite =
   [
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json escapes" `Quick test_json_parse_escapes;
+    Alcotest.test_case "json non-finite floats" `Quick test_json_nonfinite_roundtrip;
+    Alcotest.test_case "json float precision" `Quick test_json_float_precision;
     Alcotest.test_case "json errors" `Quick test_json_parse_errors;
     Alcotest.test_case "ring buffer" `Quick test_ring_buffer;
+    Alcotest.test_case "ring multi-wrap accounting" `Quick test_ring_multi_wrap_accounting;
     Alcotest.test_case "faillock hook" `Quick test_faillock_hook_fires_on_transitions;
     Alcotest.test_case "session hook" `Quick test_session_hook_fires_on_change;
     Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;

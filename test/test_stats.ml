@@ -25,6 +25,41 @@ let test_percentile () =
   Alcotest.check feq "p25 interpolates" 2.0 (Stats.percentile 0.25 samples);
   Alcotest.check feq "p125 between ranks" 1.5 (Stats.percentile 0.125 samples)
 
+let test_percentile_small_samples () =
+  (* High percentiles of small samples: rank p*(n-1) interpolates toward
+     the max instead of snapping onto it, and the boundary indices stay
+     in range (the regression this pins was an unclamped floor of the
+     rank). *)
+  Alcotest.check feq "p99 of a singleton" 7.0 (Stats.percentile 0.99 [ 7.0 ]);
+  Alcotest.check feq "p99 of a pair" 1.99 (Stats.percentile 0.99 [ 1.0; 2.0 ]);
+  let ten = List.init 10 (fun i -> float_of_int (i + 1)) in
+  (* rank = 0.99 * 9 = 8.91 -> 9 + 0.91 * (10 - 9) *)
+  Alcotest.check feq "p99 of ten" 9.91 (Stats.percentile 0.99 ten);
+  Alcotest.check feq "p95 of ten" 9.55 (Stats.percentile 0.95 ten);
+  List.iter
+    (fun n ->
+      let samples = List.init n (fun i -> float_of_int i) in
+      Alcotest.check feq
+        (Printf.sprintf "p100 of %d is the max" n)
+        (float_of_int (n - 1))
+        (Stats.percentile 1.0 samples);
+      Alcotest.check feq (Printf.sprintf "p0 of %d is the min" n) 0.0
+        (Stats.percentile 0.0 samples))
+    [ 1; 2; 3; 7; 99; 100; 101 ];
+  (* Unsorted input with ties sorts correctly (Float.compare, not the
+     polymorphic compare). *)
+  Alcotest.check feq "unsorted ties" 3.0 (Stats.percentile 0.5 [ 3.0; 1.0; 3.0; 5.0; 3.0 ])
+
+let prop_percentile_within_bounds =
+  QCheck.Test.make ~name:"percentile stays within [min, max]" ~count:300
+    QCheck.(
+      pair (float_range 0. 1.) (list_of_size Gen.(int_range 1 120) (float_range (-1e6) 1e6)))
+    (fun (p, samples) ->
+      let v = Stats.percentile p samples in
+      let lo = List.fold_left Float.min Float.infinity samples in
+      let hi = List.fold_left Float.max Float.neg_infinity samples in
+      lo <= v && v <= hi)
+
 let test_percentile_validation () =
   Alcotest.check_raises "p out of range" (Invalid_argument "Stats.percentile: p outside [0,1]")
     (fun () -> ignore (Stats.percentile 1.5 [ 1.0 ]))
@@ -75,10 +110,12 @@ let suite =
     Alcotest.test_case "mean of empty raises" `Quick test_mean_empty;
     Alcotest.test_case "stddev" `Quick test_stddev;
     Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile small samples" `Quick test_percentile_small_samples;
     Alcotest.test_case "percentile validates p" `Quick test_percentile_validation;
     Alcotest.test_case "summarize" `Quick test_summarize;
     Alcotest.test_case "accumulator matches batch" `Quick test_accumulator_matches_batch;
     Alcotest.test_case "accumulator empty" `Quick test_accumulator_empty;
     QCheck_alcotest.to_alcotest prop_accumulator_equals_batch;
     QCheck_alcotest.to_alcotest prop_percentile_monotone;
+    QCheck_alcotest.to_alcotest prop_percentile_within_bounds;
   ]

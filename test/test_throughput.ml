@@ -36,11 +36,30 @@ let test_failure_recovery_accounting () =
   Alcotest.(check bool) "fail-locks were set" true (r.Throughput.faillocks_set > 0);
   Alcotest.(check bool) "fail-locks were cleared" true (r.Throughput.faillocks_cleared > 0);
   Alcotest.(check bool) "events counted" true (r.Throughput.events > 0);
-  let window_sum f = List.fold_left (fun acc (_, c, a) -> acc + f c a) 0 r.Throughput.windows in
+  let window_sum f = List.fold_left (fun acc w -> acc + f w) 0 r.Throughput.windows in
   Alcotest.(check int) "windows sum to committed"
     r.Throughput.committed
-    (window_sum (fun c _ -> c));
-  Alcotest.(check int) "windows sum to aborted" r.Throughput.aborted (window_sum (fun _ a -> a));
+    (window_sum (fun w -> w.Throughput.w_committed));
+  Alcotest.(check int) "windows sum to aborted" r.Throughput.aborted
+    (window_sum (fun w -> w.Throughput.w_aborted));
+  (* The protocol columns are diffs of cumulative snapshots at recorded
+     transactions, so their sums never exceed the run totals. *)
+  Alcotest.(check bool) "window copiers bounded" true
+    (window_sum (fun w -> w.Throughput.w_copiers) <= r.Throughput.copier_requests);
+  Alcotest.(check bool) "window faillocks_set bounded" true
+    (window_sum (fun w -> w.Throughput.w_faillocks_set) <= r.Throughput.faillocks_set);
+  Alcotest.(check bool) "window faillocks_cleared bounded" true
+    (window_sum (fun w -> w.Throughput.w_faillocks_cleared) <= r.Throughput.faillocks_cleared);
+  Alcotest.(check bool) "window messages bounded" true
+    (window_sum (fun w -> w.Throughput.w_messages) <= r.Throughput.messages_sent);
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) "window columns non-negative" true
+        (w.Throughput.w_copiers >= 0 && w.Throughput.w_faillocks_set >= 0
+        && w.Throughput.w_faillocks_cleared >= 0 && w.Throughput.w_messages >= 0))
+    r.Throughput.windows;
+  Alcotest.(check bool) "windows carry message activity" true
+    (window_sum (fun w -> w.Throughput.w_messages) > 0);
   let rate = Throughput.abort_rate r in
   Alcotest.(check bool) "abort rate in [0,1]" true (rate >= 0.0 && rate <= 1.0);
   Alcotest.(check bool) "txns/vsec positive" true (Throughput.txns_per_vsec r > 0.0)
