@@ -164,6 +164,8 @@ let print_ablations () =
 type throughput_case = {
   tp_sites : int;
   tp_items : int;
+  tp_factor : int;  (* replication factor; 0 = full replication *)
+  tp_zipf_theta : float option;
   tp_txns_per_vsec : float;
   tp_abort_rate : float;
   tp_events : int;
@@ -172,9 +174,12 @@ type throughput_case = {
 
 let print_throughput () =
   section "Steady-state throughput (open-loop stream; virtual results, host events/sec)";
-  let run_case ~sites ~items ~duration_ms =
+  let run_case ?(replication = Config.Full) ?zipf_theta ~sites ~items ~duration_ms () =
     let failure = Raid_sim.Throughput.default_failure ~sites ~duration_ms in
-    let config = Raid_sim.Throughput.make_config ~sites ~items ~duration_ms ~failure () in
+    let config =
+      Raid_sim.Throughput.make_config ~sites ~items ~duration_ms ~failure ~replication
+        ?zipf_theta ()
+    in
     let t0 = Unix.gettimeofday () in
     let results = Raid_sim.Throughput.run_seeds ~seeds:4 config in
     let wall = Unix.gettimeofday () -. t0 in
@@ -188,6 +193,11 @@ let print_throughput () =
     {
       tp_sites = sites;
       tp_items = items;
+      tp_factor =
+        (match replication with
+        | Config.Full -> 0
+        | Config.Partial spec -> spec.Raid_core.Placement.factor);
+      tp_zipf_theta = zipf_theta;
       tp_txns_per_vsec = mean Raid_sim.Throughput.txns_per_vsec;
       tp_abort_rate = mean Raid_sim.Throughput.abort_rate;
       tp_events = events;
@@ -195,8 +205,14 @@ let print_throughput () =
     }
   in
   [
-    run_case ~sites:16 ~items:500 ~duration_ms:30_000.0;
-    run_case ~sites:64 ~items:5000 ~duration_ms:30_000.0;
+    run_case ~sites:16 ~items:500 ~duration_ms:30_000.0 ();
+    run_case ~sites:64 ~items:5000 ~duration_ms:30_000.0 ();
+    (* The partial-replication headline: a k-holder placement keeps the
+       per-write fan-out constant, so a 256-site cluster clears more
+       events/sec than the 64-site write-all-available case above. *)
+    run_case
+      ~replication:(Config.Partial (Raid_core.Placement.spec ~factor:3 ()))
+      ~zipf_theta:0.9 ~sites:256 ~items:100_000 ~duration_ms:30_000.0 ();
   ]
 
 (* {2 Layer 2: Bechamel host-hardware microbenchmarks} *)
@@ -366,10 +382,13 @@ let write_json ~throughput ~bechamel path =
   List.iteri
     (fun i c ->
       out
-        "    {\"sites\": %d, \"items\": %d, \"committed_txns_per_vsec\": %s, \"abort_rate\": \
-         %s, \"events\": %d, \"wall_s\": %s, \"events_per_sec\": %s}%s\n"
-        c.tp_sites c.tp_items (json_float c.tp_txns_per_vsec) (json_float c.tp_abort_rate)
-        c.tp_events (json_float c.tp_wall_s)
+        "    {\"sites\": %d, \"items\": %d, \"replication_factor\": %d, \"zipf_theta\": %s, \
+         \"committed_txns_per_vsec\": %s, \"abort_rate\": %s, \"events\": %d, \"wall_s\": %s, \
+         \"events_per_sec\": %s}%s\n"
+        c.tp_sites c.tp_items c.tp_factor
+        (match c.tp_zipf_theta with None -> "null" | Some t -> json_float t)
+        (json_float c.tp_txns_per_vsec) (json_float c.tp_abort_rate) c.tp_events
+        (json_float c.tp_wall_s)
         (json_float (float_of_int c.tp_events /. c.tp_wall_s))
         (if i = List.length throughput - 1 then "" else ","))
     throughput;
@@ -443,14 +462,22 @@ let check_baseline ~throughput path =
     (fun c ->
       match
         List.find_opt
-          (fun b -> int_field "sites" b = Some c.tp_sites && int_field "items" b = Some c.tp_items)
+          (fun b ->
+            int_field "sites" b = Some c.tp_sites
+            && int_field "items" b = Some c.tp_items
+            (* older baselines predate partial replication: a missing
+               replication_factor field means full replication *)
+            && Option.value ~default:0 (int_field "replication_factor" b) = c.tp_factor)
           cases
       with
       | None ->
-        Printf.printf "  no baseline case for %d sites / %d items, skipped\n" c.tp_sites
-          c.tp_items
+        Printf.printf "  no baseline case for %d sites / %d items / k=%d, skipped\n" c.tp_sites
+          c.tp_items c.tp_factor
       | Some b ->
-        let label = Printf.sprintf "%d sites / %d items" c.tp_sites c.tp_items in
+        let label =
+          Printf.sprintf "%d sites / %d items%s" c.tp_sites c.tp_items
+            (if c.tp_factor = 0 then "" else Printf.sprintf " / k=%d" c.tp_factor)
+        in
         (match int_field "events" b with
         | Some events when events <> c.tp_events ->
           fail "%s: events %d, baseline %d (deterministic field drifted)" label c.tp_events

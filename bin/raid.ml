@@ -116,27 +116,42 @@ let ablations_cmd =
 
 (* `raid scaling` *)
 let scaling_cmd =
-  let run jobs =
+  let partial =
+    Arg.(
+      value & flag
+      & info [ "partial" ]
+          ~doc:
+            "Run only the partial-replication scaling sweep: zipfian throughput with k=3 \
+             hash placement at 64-1024 sites over 10^5 items, against a full-replication \
+             baseline at 64 sites.")
+  in
+  let run partial jobs =
     set_jobs jobs;
-    Table.print (Raid_sim.Scaling.control1_table (Raid_sim.Scaling.control1_scaling ()));
-    print_newline ();
-    Table.print (Raid_sim.Scaling.experiment2_seeds_table (Raid_sim.Scaling.experiment2_seeds ()));
-    print_newline ();
-    Table.print (Raid_sim.Scaling.scenario1_seeds_table (Raid_sim.Scaling.scenario1_seeds ()));
-    print_newline ();
-    Table.print
-      (Raid_sim.Scaling.cluster_size_table (Raid_sim.Scaling.recovery_vs_cluster_size ()));
-    print_newline ();
-    Table.print (Raid_sim.Analysis.comparison_table ());
-    print_newline ();
-    Raid_util.Chart.print (Raid_sim.Analysis.figure ())
+    if partial then
+      Table.print (Raid_sim.Scaling.partial_scaling_table (Raid_sim.Scaling.partial_scaling ()))
+    else begin
+      Table.print (Raid_sim.Scaling.control1_table (Raid_sim.Scaling.control1_scaling ()));
+      print_newline ();
+      Table.print
+        (Raid_sim.Scaling.experiment2_seeds_table (Raid_sim.Scaling.experiment2_seeds ()));
+      print_newline ();
+      Table.print (Raid_sim.Scaling.scenario1_seeds_table (Raid_sim.Scaling.scenario1_seeds ()));
+      print_newline ();
+      Table.print
+        (Raid_sim.Scaling.cluster_size_table (Raid_sim.Scaling.recovery_vs_cluster_size ()));
+      print_newline ();
+      Table.print (Raid_sim.Analysis.comparison_table ());
+      print_newline ();
+      Raid_util.Chart.print (Raid_sim.Analysis.figure ())
+    end
   in
   Cmd.v
     (Cmd.info "scaling"
        ~doc:
          "Run the scaling and multi-seed robustness sweeps (control-1 scaling, Experiment-2 \
-          seed sweep, cluster sizes, model comparison).")
-    Term.(const run $ jobs)
+          seed sweep, cluster sizes, model comparison; $(b,--partial) for the \
+          partial-replication sweep).")
+    Term.(const run $ partial $ jobs)
 
 (* `raid scenario` — a configurable single-outage scenario. *)
 let scenario_cmd =
@@ -446,9 +461,44 @@ let throughput_cmd =
       & info [ "sample" ] ~docv:"MS"
           ~doc:"Telemetry sampling interval in virtual milliseconds (with $(b,--telemetry)).")
   in
+  let replication_factor =
+    Arg.(
+      value & opt int 0
+      & info [ "replication-factor" ] ~docv:"K"
+          ~doc:
+            "Copies per item (k-holder placement).  0 keeps the paper's full replication; \
+             K >= sites also degenerates to it.")
+  in
+  let sharding =
+    Arg.(
+      value & opt string "hash"
+      & info [ "sharding" ] ~docv:"KIND"
+          ~doc:
+            "How $(b,--replication-factor) picks each item's primary holder: $(b,hash), \
+             $(b,range) or $(b,modular).")
+  in
+  let zipf_theta =
+    Arg.(
+      value & opt (some float) None
+      & info [ "zipf-theta" ] ~docv:"THETA"
+          ~doc:
+            "Zipfian item skew in (0,1) (YCSB's parameterisation; 0.99 is its default).  \
+             Omitted: the paper's uniform item draw.")
+  in
   let run sites items max_ops write_prob duration seeds seed no_failure fail_at recover_at smoke
-      csv telemetry sample jobs =
+      csv telemetry sample replication_factor sharding zipf_theta jobs =
     set_jobs jobs;
+    let replication =
+      if replication_factor = 0 then Raid_core.Config.Full
+      else
+        match Raid_core.Placement.sharding_of_string sharding with
+        | Error message ->
+          Printf.eprintf "raid throughput: %s\n" message;
+          exit 2
+        | Ok sharding ->
+          Raid_core.Config.Partial
+            (Raid_core.Placement.spec ~sharding ~factor:replication_factor ())
+    in
     let duration = if smoke then Float.min duration 1000.0 else duration in
     let failure =
       if no_failure then None
@@ -466,7 +516,7 @@ let throughput_cmd =
     in
     let config =
       Raid_sim.Throughput.make_config ~sites ~items ~max_ops ~write_prob ~duration_ms:duration
-        ?failure ()
+        ?failure ~replication ?zipf_theta ()
     in
     if sample <= 0.0 then begin
       prerr_endline "raid throughput: --sample must be positive";
@@ -514,7 +564,8 @@ let throughput_cmd =
           host events/sec) under an open-loop stream with a mid-run failure and recovery.")
     Term.(
       const run $ sites $ items $ max_ops $ write_prob $ duration $ seeds $ seed $ no_failure
-      $ fail_at $ recover_at $ smoke $ csv $ telemetry $ sample $ jobs)
+      $ fail_at $ recover_at $ smoke $ csv $ telemetry $ sample $ replication_factor $ sharding
+      $ zipf_theta $ jobs)
 
 (* `raid concurrency` *)
 let concurrency_cmd =

@@ -1,34 +1,35 @@
 (* Control transaction type 3 under partial replication (paper §3.2).
 
-   With two copies per item, two overlapping site failures can take both
-   holders of an item down.  Type-3 control transactions watch for items
-   reduced to a single operational up-to-date copy and spawn a backup on
-   a site that holds none, keeping the item available.
+   Items are placed on k consecutive sites from a sharded primary
+   (here: k=2, modular sharding, so item i lives on sites i mod n and
+   (i+1) mod n).  Two overlapping site failures can take both holders of
+   an item down.  Type-3 control transactions watch for items reduced to
+   a single operational up-to-date copy and spawn a backup on a site
+   that holds none, keeping the item available.
 
    Run with: dune exec examples/partial_replication.exe *)
 
 module Cluster = Raid_core.Cluster
 module Config = Raid_core.Config
+module Placement = Raid_core.Placement
 module Txn = Raid_core.Txn
 module Metrics = Raid_core.Metrics
 module Site = Raid_core.Site
 
-let two_copies ~num_sites ~num_items =
-  Array.init num_sites (fun site ->
-      Array.init num_items (fun item ->
-          site = item mod num_sites || site = (item + 1) mod num_sites))
-
 let () =
   let num_sites = 4 and num_items = 20 in
+  let spec = Placement.spec ~sharding:Placement.Modular ~factor:2 () in
   let config =
-    Config.make ~spawn_backups:true
-      ~replication:(Config.Partial (two_copies ~num_sites ~num_items))
-      ~num_sites ~num_items ()
+    Config.make ~spawn_backups:true ~replication:(Config.Partial spec) ~num_sites ~num_items ()
   in
   let cluster = Cluster.create config in
 
-  (* Item 0 is held by sites 0 and 1. *)
-  Printf.printf "item 0 holders: sites 0 and 1\n";
+  (* The placement is a pure function of the spec: every site computes
+     the same holder set without any per-item matrix. *)
+  let placement = Placement.make ~num_sites ~num_items spec in
+  Printf.printf "item 0 holders: sites %s (primary %d)\n"
+    (String.concat ", " (List.map string_of_int (Placement.replicas placement 0)))
+    (Placement.primary placement 0);
   Cluster.fail_site cluster 1;
   Printf.printf "site 1 failed; writing item 0 leaves a single operational copy...\n";
   let id = Cluster.next_txn_id cluster in

@@ -5,6 +5,18 @@ module Telemetry = Raid_obs.Telemetry
 
 type detection = Immediate | On_timeout
 
+type settings = {
+  detection : detection;
+  trace : bool;
+  obs : Raid_obs.Trace.sink option;
+  telemetry : Raid_obs.Telemetry.t option;
+}
+
+let default_settings = { detection = Immediate; trace = false; obs = None; telemetry = None }
+
+let settings ?(detection = Immediate) ?(trace = false) ?obs ?telemetry () =
+  { detection; trace; obs; telemetry }
+
 type t = {
   config : Config.t;
   detection : detection;
@@ -36,16 +48,38 @@ let attach_telemetry t registry =
   in
   let msg_counters = Hashtbl.create 32 in
   let vtime_counters = Hashtbl.create 32 in
+  let msg_counter kind =
+    match Hashtbl.find_opt msg_counters kind with
+    | Some c -> c
+    | None ->
+      (* A kind outside [Message.all_kinds] (e.g. the partial-replication
+         fail-lock hint): register its series on first use so the
+         pre-registered set — and the goldens built on it — is unchanged
+         for runs that never send one. *)
+      let c =
+        Telemetry.counter registry "raid_engine_messages_total"
+          ~labels:[ ("kind", kind) ]
+          ~help:"Messages delivered, by payload kind"
+      in
+      Hashtbl.replace msg_counters kind c;
+      c
+  in
+  let vtime_counter kind =
+    match Hashtbl.find_opt vtime_counters kind with
+    | Some c -> c
+    | None ->
+      let c =
+        Telemetry.counter registry "raid_engine_vtime_us_total"
+          ~labels:[ ("kind", kind) ]
+          ~help:"Virtual handler time accumulated via the cost model, by payload kind (us)"
+      in
+      Hashtbl.replace vtime_counters kind c;
+      c
+  in
   List.iter
     (fun kind ->
-      Hashtbl.replace msg_counters kind
-        (Telemetry.counter registry "raid_engine_messages_total"
-           ~labels:[ ("kind", kind) ]
-           ~help:"Messages delivered, by payload kind");
-      Hashtbl.replace vtime_counters kind
-        (Telemetry.counter registry "raid_engine_vtime_us_total"
-           ~labels:[ ("kind", kind) ]
-           ~help:"Virtual handler time accumulated via the cost model, by payload kind (us)"))
+      ignore (msg_counter kind);
+      ignore (vtime_counter kind))
     Message.all_kinds;
   Telemetry.gauge registry "raid_engine_queue_depth"
     ~help:"Pending events in the engine queue" (fun () ->
@@ -116,16 +150,17 @@ let attach_telemetry t registry =
                match event with
                | Engine.Message { payload; _ } ->
                  let kind = Message.kind payload in
-                 Telemetry.incr (Hashtbl.find msg_counters kind);
+                 Telemetry.incr (msg_counter kind);
                  kind
                | Engine.Send_failed { payload; _ } | Engine.Timer payload ->
                  Message.kind payload
              in
-             Telemetry.add (Hashtbl.find vtime_counters payload_kind) (float_of_int cost));
+             Telemetry.add (vtime_counter payload_kind) (float_of_int cost));
          on_advance = (fun ~at -> Telemetry.maybe_sample registry ~at);
        })
 
-let create ?(detection = Immediate) ?(trace = false) ?obs ?telemetry config =
+let create ?(settings = default_settings) config =
+  let { detection; trace; obs; telemetry } = settings in
   let metrics = Metrics.create () in
   let engine =
     Engine.create ~message_latency:config.Config.cost.Cost_model.message_latency ~trace

@@ -21,25 +21,41 @@
 
 type detection = Immediate | On_timeout
 
-type t
+type settings = {
+  detection : detection;
+  trace : bool;
+  obs : Raid_obs.Trace.sink option;
+  telemetry : Raid_obs.Telemetry.t option;
+}
+(** Cross-cutting observation and failure-detection knobs, gathered in
+    one record so [create] does not grow an optional argument per
+    concern.  [obs] is handed to every site: one sink collects the whole
+    cluster's protocol trace (entries carry the emitting site's id).
+    [telemetry], when given, is instrumented over every layer — per-site
+    gauges (fail-lock table sizes, pending 2PC cardinalities, session
+    up-counts), engine event/message/virtual-time counters via
+    {!Raid_net.Engine.set_probe}, polled {!Metrics} totals and
+    per-outcome latency histograms — and sampled at its interval as the
+    engine's clock advances; telemetry reads but never changes the
+    run. *)
 
-val create :
+val default_settings : settings
+(** [Immediate] detection, no trace, no sink, no telemetry. *)
+
+val settings :
   ?detection:detection ->
   ?trace:bool ->
   ?obs:Raid_obs.Trace.sink ->
   ?telemetry:Raid_obs.Telemetry.t ->
-  Config.t ->
-  t
+  unit ->
+  settings
+(** {!default_settings} with the given fields overridden. *)
+
+type t
+
+val create : ?settings:settings -> Config.t -> t
 (** A fresh cluster: all sites up, databases identical, no fail-locks.
-    [detection] defaults to [Immediate].  [obs] is handed to every site:
-    one sink collects the whole cluster's protocol trace (entries carry
-    the emitting site's id).  [telemetry], when given, is instrumented
-    over every layer — per-site gauges (fail-lock table sizes, pending
-    2PC cardinalities, session up-counts), engine event/message/
-    virtual-time counters via {!Raid_net.Engine.set_probe}, polled
-    {!Metrics} totals and per-outcome latency histograms — and sampled
-    at its interval as the engine's clock advances; telemetry reads but
-    never changes the run. *)
+    [settings] defaults to {!default_settings}. *)
 
 val config : t -> Config.t
 val metrics : t -> Metrics.t

@@ -1,4 +1,4 @@
-type replication = Full | Partial of bool array array
+type replication = Full | Partial of Placement.spec
 
 type durability = In_memory | Durable_wal of { checkpoint_interval : int }
 
@@ -22,19 +22,10 @@ let validate t =
   if t.num_items <= 0 then invalid_arg "Config: num_items must be positive";
   (match t.replication with
   | Full -> ()
-  | Partial placement ->
-    if Array.length placement <> t.num_sites then
-      invalid_arg "Config: placement must have one row per site";
-    Array.iter
-      (fun row ->
-        if Array.length row <> t.num_items then
-          invalid_arg "Config: placement rows must have one entry per item")
-      placement;
-    for item = 0 to t.num_items - 1 do
-      let holders = Array.fold_left (fun acc row -> if row.(item) then acc + 1 else acc) 0 placement in
-      if holders = 0 then
-        invalid_arg (Printf.sprintf "Config: item %d has no copy under the placement" item)
-    done);
+  | Partial spec ->
+    (* Resolution validates the spec (positive factor, well-formed
+       affinity map); a factor >= 1 always leaves every item a copy. *)
+    ignore (Placement.make ~num_sites:t.num_sites ~num_items:t.num_items spec));
   (match t.durability with
   | In_memory -> ()
   | Durable_wal { checkpoint_interval } ->
@@ -64,10 +55,15 @@ let make ?(cost = Cost_model.calibrated) ?(replication = Full) ?(recovery = On_d
       faillocks_enabled;
     }
 
+let placement t =
+  match t.replication with
+  | Full -> Placement.full ~num_sites:t.num_sites ~num_items:t.num_items
+  | Partial spec -> Placement.make ~num_sites:t.num_sites ~num_items:t.num_items spec
+
 let stores t ~site ~item =
   if site < 0 || site >= t.num_sites then invalid_arg "Config.stores: bad site";
   if item < 0 || item >= t.num_items then invalid_arg "Config.stores: bad item";
-  match t.replication with Full -> true | Partial placement -> placement.(site).(item)
+  Placement.holds (placement t) ~site ~item
 
 let paper_experiment1 = make ~num_sites:4 ~num_items:50 ()
 let paper_experiment2 = make ~num_sites:2 ~num_items:50 ()

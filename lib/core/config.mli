@@ -11,9 +11,10 @@
 
 type replication =
   | Full  (** every site stores every item (paper assumption 4) *)
-  | Partial of bool array array
-      (** [placement.(site).(item)]: which sites initially hold a copy.
-          Enables the paper's §3.2 control-type-3 discussion. *)
+  | Partial of Placement.spec
+      (** k copies per item on sharded replica sets ({!Placement}).
+          Enables the paper's §3.2 control-type-3 discussion; a factor
+          covering every site degenerates to [Full]. *)
 
 type durability =
   | In_memory
@@ -76,9 +77,11 @@ val make :
     transactions (as in the paper), fail-locks enabled.
     @raise Invalid_argument on non-positive sizes, more than 1024 sites
     (a sanity bound; fail-lock bitmaps are [Bytes]-backed and grow with
-    the site count), a [Partial] map of the wrong
-    shape or one leaving an item with no copy, or an out-of-range
-    two-step threshold. *)
+    the site count), an invalid [Partial] spec (non-positive factor,
+    ill-formed affinity map), or an out-of-range two-step threshold. *)
+
+val placement : t -> Placement.t
+(** The resolved static placement ({!Placement.full} under [Full]). *)
 
 val stores : t -> site:int -> item:int -> bool
 (** Initial placement. *)

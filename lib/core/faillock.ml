@@ -2,12 +2,32 @@ module Bitset = Raid_util.Bitset
 
 type hook = item:int -> site:int -> locked:bool -> unit
 
-type t = { num_sites : int; maps : Bitset.t array; mutable hook : hook option }
+(* Sparse representation: one bitmap per item *with at least one bit
+   set*, plus per-site counts.  At paper scale (every item locked for a
+   failed site) this costs the same as the old dense array-of-bitmaps;
+   at placement scale (1024 sites x 10^5 items, k holders per item) the
+   dense table is ~13 GB while the sparse one is proportional to the
+   actual inconsistency.  Invariant: a row is present iff non-empty. *)
+type t = {
+  num_items : int;
+  num_sites : int;
+  rows : (int, Bitset.t) Hashtbl.t;
+  counts : int array;  (* per-site number of locked items *)
+  mutable total : int;
+  mutable hook : hook option;
+}
 
 let create ~num_items ~num_sites =
   if num_items < 0 then invalid_arg "Faillock.create: negative num_items";
   if num_sites <= 0 then invalid_arg "Faillock.create: num_sites must be positive";
-  { num_sites; maps = Array.init num_items (fun _ -> Bitset.create num_sites); hook = None }
+  {
+    num_items;
+    num_sites;
+    rows = Hashtbl.create 16;
+    counts = Array.make num_sites 0;
+    total = 0;
+    hook = None;
+  }
 
 let set_hook t hook = t.hook <- hook
 
@@ -16,127 +36,167 @@ let set_hook t hook = t.hook <- hook
 let notify t ~item ~site ~locked =
   match t.hook with None -> () | Some hook -> hook ~item ~site ~locked
 
-let num_items t = Array.length t.maps
+let num_items t = t.num_items
 let num_sites t = t.num_sites
 
-let map t item =
-  if item < 0 || item >= Array.length t.maps then invalid_arg "Faillock: item out of range";
-  t.maps.(item)
+let check_item t item =
+  if item < 0 || item >= t.num_items then invalid_arg "Faillock: item out of range"
 
-let is_locked t ~item ~site = Bitset.mem (map t item) site
+let check_site t site =
+  if site < 0 || site >= t.num_sites then invalid_arg "Faillock: site out of range"
+
+let row_opt t item =
+  check_item t item;
+  Hashtbl.find_opt t.rows item
+
+let is_locked t ~item ~site =
+  check_site t site;
+  match row_opt t item with None -> false | Some m -> Bitset.mem m site
+
+(* Raw bit updates maintaining counts/total and the non-empty-row
+   invariant; return whether the bit actually transitioned.  The public
+   [set]/[clear] add hook notification on top. *)
+let set_raw t ~item ~site =
+  check_site t site;
+  let m =
+    match row_opt t item with
+    | Some m -> m
+    | None ->
+      let m = Bitset.create t.num_sites in
+      Hashtbl.replace t.rows item m;
+      m
+  in
+  if Bitset.mem m site then false
+  else begin
+    Bitset.set m site;
+    t.counts.(site) <- t.counts.(site) + 1;
+    t.total <- t.total + 1;
+    true
+  end
+
+let clear_raw t ~item ~site =
+  check_site t site;
+  match row_opt t item with
+  | None -> false
+  | Some m ->
+    if Bitset.mem m site then begin
+      Bitset.clear m site;
+      t.counts.(site) <- t.counts.(site) - 1;
+      t.total <- t.total - 1;
+      if Bitset.is_empty m then Hashtbl.remove t.rows item;
+      true
+    end
+    else false
 
 let set t ~item ~site =
-  let m = map t item in
-  let fresh = not (Bitset.mem m site) in
-  Bitset.set m site;
+  let fresh = set_raw t ~item ~site in
   if fresh then notify t ~item ~site ~locked:true;
   fresh
 
 let clear t ~item ~site =
-  let m = map t item in
-  let was_set = Bitset.mem m site in
-  Bitset.clear m site;
+  let was_set = clear_raw t ~item ~site in
   if was_set then notify t ~item ~site ~locked:false;
   was_set
 
-let commit_update t ~item ~site_up ~set:set_count ~cleared =
-  let m = map t item in
+let update_for t ~item ~site ~up ~set:set_count ~cleared =
+  if up then begin
+    if clear_raw t ~item ~site then begin
+      incr cleared;
+      notify t ~item ~site ~locked:false
+    end
+  end
+  else if set_raw t ~item ~site then begin
+    incr set_count;
+    notify t ~item ~site ~locked:true
+  end
+
+let commit_update t ~item ~site_up ~set ~cleared =
+  check_item t item;
   for site = 0 to t.num_sites - 1 do
-    if site_up site then begin
-      if Bitset.mem m site then begin
-        Bitset.clear m site;
-        incr cleared;
-        notify t ~item ~site ~locked:false
-      end
-    end
-    else if not (Bitset.mem m site) then begin
-      Bitset.set m site;
-      incr set_count;
-      notify t ~item ~site ~locked:true
-    end
+    update_for t ~item ~site ~up:(site_up site) ~set ~cleared
   done
+
+let sorted_items t = List.sort compare (Hashtbl.fold (fun item _ acc -> item :: acc) t.rows [])
 
 let locked_items_for t ~site =
-  let locked = ref [] in
-  for item = Array.length t.maps - 1 downto 0 do
-    if Bitset.mem t.maps.(item) site then locked := item :: !locked
-  done;
-  !locked
+  check_site t site;
+  if t.counts.(site) = 0 then []
+  else List.filter (fun item -> Bitset.mem (Hashtbl.find t.rows item) site) (sorted_items t)
 
-(* Allocation-free variant of [locked_items_for]: same items, same
-   increasing order, no list. *)
-let iter_locked_items_for t ~site f =
-  for item = 0 to Array.length t.maps - 1 do
-    if Bitset.mem t.maps.(item) site then f item
-  done
+(* Same items, same increasing order as [locked_items_for]. *)
+let iter_locked_items_for t ~site f = List.iter f (locked_items_for t ~site)
 
 let any_locked_for t ~site =
-  let n = Array.length t.maps in
-  let rec scan item = item < n && (Bitset.mem t.maps.(item) site || scan (item + 1)) in
-  scan 0
+  check_site t site;
+  t.counts.(site) > 0
 
 let count_for t ~site =
-  let count = ref 0 in
-  Array.iter (fun m -> if Bitset.mem m site then incr count) t.maps;
-  !count
+  check_site t site;
+  t.counts.(site)
 
-let locked_sites t ~item = Bitset.to_list (map t item)
-let union_locked_into ~dst t ~item = Bitset.union_into ~dst (map t item)
-let any_locked t ~item = not (Bitset.is_empty (map t item))
+let locked_sites t ~item =
+  match row_opt t item with None -> [] | Some m -> Bitset.to_list m
+
+let union_locked_into ~dst t ~item =
+  match row_opt t item with
+  | None ->
+    if Bitset.capacity dst <> t.num_sites then invalid_arg "Bitset: capacity mismatch"
+  | Some m -> Bitset.union_into ~dst m
+
+let any_locked t ~item = row_opt t item <> None
 
 let clear_sites t ~item ~sites =
   List.fold_left (fun acc site -> if clear t ~item ~site then acc + 1 else acc) 0 sites
 
 (* Copies are inert data (shipped inside [Recovery_state] messages); they
    never fire the source's hook. *)
-let copy t = { t with maps = Array.map Bitset.copy t.maps; hook = None }
+let copy t =
+  let rows = Hashtbl.create (max 16 (Hashtbl.length t.rows)) in
+  Hashtbl.iter (fun item m -> Hashtbl.replace rows item (Bitset.copy m)) t.rows;
+  { t with rows; counts = Array.copy t.counts; hook = None }
 
 let check_shape t from =
-  if num_items t <> num_items from || t.num_sites <> from.num_sites then
+  if t.num_items <> from.num_items || t.num_sites <> from.num_sites then
     invalid_arg "Faillock: shape mismatch"
 
-let install t ~from =
+let install ?keep t ~from =
   check_shape t from;
-  Array.iteri
-    (fun item m ->
-      (* Report the per-bit diff before overwriting (control-1 installs a
-         whole table at once; the trace still wants transitions). *)
-      (match t.hook with
-      | None -> ()
-      | Some _ ->
-        for site = 0 to t.num_sites - 1 do
-          let before = Bitset.mem t.maps.(item) site in
-          let after = Bitset.mem m site in
-          if before <> after then notify t ~item ~site ~locked:after
-        done);
-      Bitset.clear_all t.maps.(item);
-      Bitset.union_into ~dst:t.maps.(item) m)
-    from.maps
+  let kept item = match keep with None -> true | Some f -> f item in
+  (* Visit the union of both tables' rows in ascending item order so the
+     per-bit diff reported to the hook matches the old dense sweep
+     (control-1 installs a whole table at once; the trace still wants
+     transitions). *)
+  let items = List.sort_uniq compare (sorted_items t @ sorted_items from) in
+  List.iter
+    (fun item ->
+      let target = if kept item then Hashtbl.find_opt from.rows item else None in
+      for site = 0 to t.num_sites - 1 do
+        let after = match target with None -> false | Some m -> Bitset.mem m site in
+        if after then ignore (set t ~item ~site) else ignore (clear t ~item ~site)
+      done)
+    items
 
 let merge t ~from =
   check_shape t from;
-  Array.iteri
-    (fun item m ->
-      (match t.hook with
-      | None -> ()
-      | Some _ ->
-        List.iter
-          (fun site ->
-            if not (Bitset.mem t.maps.(item) site) then notify t ~item ~site ~locked:true)
-          (Bitset.to_list m));
-      Bitset.union_into ~dst:t.maps.(item) m)
-    from.maps
+  List.iter
+    (fun item ->
+      Bitset.iter (fun site -> ignore (set t ~item ~site)) (Hashtbl.find from.rows item))
+    (sorted_items from)
 
-let total_locked t = Array.fold_left (fun acc m -> acc + Bitset.cardinal m) 0 t.maps
+let total_locked t = t.total
 
 let equal a b =
-  num_items a = num_items b && a.num_sites = b.num_sites
-  && Array.for_all2 Bitset.equal a.maps b.maps
+  a.num_items = b.num_items && a.num_sites = b.num_sites && a.total = b.total
+  && Hashtbl.length a.rows = Hashtbl.length b.rows
+  && Hashtbl.fold
+       (fun item m acc ->
+         acc
+         && match Hashtbl.find_opt b.rows item with None -> false | Some m' -> Bitset.equal m m')
+       a.rows true
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  Array.iteri
-    (fun item m ->
-      if not (Bitset.is_empty m) then Format.fprintf ppf "item %3d: %a@," item Bitset.pp m)
-    t.maps;
+  List.iter
+    (fun item -> Format.fprintf ppf "item %3d: %a@," item Bitset.pp (Hashtbl.find t.rows item))
+    (sorted_items t);
   Format.fprintf ppf "@]"

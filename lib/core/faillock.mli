@@ -42,6 +42,12 @@ val commit_update : t -> item:int -> site_up:(int -> bool) -> set:int ref -> cle
     paper found cheaper than conditional maintenance.  Transition counts
     are accumulated into [set]/[cleared]. *)
 
+val update_for : t -> item:int -> site:int -> up:bool -> set:int ref -> cleared:int ref -> unit
+(** One site's share of {!commit_update}: clear the bit when [up], set it
+    otherwise, accumulating transition counts.  Under partial replication
+    the commit rule runs over an item's k holders instead of all sites;
+    this is the per-holder step. *)
+
 val locked_items_for : t -> site:int -> int list
 (** Items whose bit for [site] is set (a recovering site's out-of-date
     copies), increasing order. *)
@@ -73,9 +79,11 @@ val clear_sites : t -> item:int -> sites:int list -> int
 
 val copy : t -> t
 
-val install : t -> from:t -> unit
-(** Replace contents (control-1 installation).  @raise Invalid_argument
-    on shape mismatch. *)
+val install : ?keep:(int -> bool) -> t -> from:t -> unit
+(** Replace contents (control-1 installation).  [keep] filters which
+    items' rows are taken from [from] (rows of dropped items are cleared)
+    — under partial replication a site only maintains bits for items it
+    holds.  @raise Invalid_argument on shape mismatch. *)
 
 val merge : t -> from:t -> unit
 (** Bitwise union (used when reconciling fail-lock knowledge). *)

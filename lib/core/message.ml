@@ -14,9 +14,14 @@ type t =
   | Copy_unavailable of { txn : int; items : int list }
   | Faillocks_cleared of { site : int; items : int list }
   | Recovery_announce of { site : int; session : int; want_state : bool }
-  | Recovery_state of { vector : Session.t; faillocks : Faillock.t; placement : bool array array }
+  | Recovery_state of {
+      vector : Session.t;
+      faillocks : Faillock.t;
+      backups : (int * int list) list;
+    }
   | Failure_announce of { failed : int list }
   | Backup_copy of { target : int; write : Raid_storage.Database.write }
+  | Faillock_hint of { for_site : int; items : int list }
 
 let kind = function
   | Begin_txn _ -> "begin_txn"
@@ -37,7 +42,13 @@ let kind = function
   | Recovery_state _ -> "recovery_state"
   | Failure_announce _ -> "failure_announce"
   | Backup_copy _ -> "backup_copy"
+  | Faillock_hint _ -> "faillock_hint"
 
+(* Kinds pre-registered for aligned telemetry series.  [faillock_hint]
+   is deliberately absent: it only flows under partial replication, and
+   keeping the full-replication metric set unchanged keeps the exp-1
+   telemetry golden byte-identical.  Unlisted kinds are registered
+   on first use by the engine probe. *)
 let all_kinds =
   [
     "begin_txn"; "recover_command"; "failure_noticed"; "terminate_command"; "departure_announce";
@@ -75,5 +86,7 @@ let describe = function
     Printf.sprintf "failure_announce(%s)" (String.concat "," (List.map string_of_int failed))
   | Backup_copy { target; write } ->
     Printf.sprintf "backup_copy(item %d -> site %d)" write.Raid_storage.Database.item target
+  | Faillock_hint { for_site; items } ->
+    Printf.sprintf "faillock_hint(site %d,%d items)" for_site (List.length items)
 
 let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -49,14 +49,19 @@ type t =
   | Recovery_state of {
       vector : Session.t;
       faillocks : Faillock.t;
-      placement : bool array array;
-          (** the donor's placement view, so control-3 backups created
-              while the recoverer was down are not forgotten *)
+      backups : (int * int list) list;
+          (** the donor's dynamic placement extras ([(item, sites)]), so
+              control-3 backups created while the recoverer was down are
+              not forgotten; the static placement needs no shipping *)
     }
   | Failure_announce of { failed : int list }  (** control-2 *)
   | Backup_copy of { target : int; write : Raid_storage.Database.write }
       (** control-3: [target] must materialise the copy; other receivers
           just update their placement view *)
+  | Faillock_hint of { for_site : int; items : int list }
+      (** partial replication, control-1: a holder tells the recovering
+          site [for_site] which of its items missed updates — the state
+          donor may not hold (hence not track) them *)
 
 val kind : t -> string
 (** Stable snake_case tag of the constructor alone ("prepare",
@@ -64,8 +69,11 @@ val kind : t -> string
     ids, so it is usable as a metric label. *)
 
 val all_kinds : string list
-(** Every {!kind} value, in constructor order — lets instrumentation
-    pre-register one counter per kind so all series are aligned. *)
+(** The {!kind} values pre-registered for aligned telemetry series, in
+    constructor order.  ["faillock_hint"] is deliberately absent — it
+    only flows under partial replication, and the full-replication metric
+    set must stay unchanged; instrumentation registers unlisted kinds on
+    first use. *)
 
 val describe : t -> string
 (** Short human-readable tag for traces and logs. *)

@@ -13,8 +13,13 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 (* Coordinator phases for the transaction in progress (Appendix A).
    Pending sets are site bitsets with an explicit remaining count, so
    each ack costs O(1) instead of rebuilding an O(sites) list. *)
+type copying = { pending : int array; mutable remaining : int }
+(* pending.(s) = outstanding copy requests at source s; a source can
+   carry more than one live request when a Copy_unavailable failover
+   re-targets items at a site that is already serving others *)
+
 type phase =
-  | Copying of { pending_sources : Bitset.t; mutable remaining : int }
+  | Copying of copying
   | Preparing of {
       participants : Bitset.t;
       participant_count : int;
@@ -53,6 +58,10 @@ type mode =
           (* failures this site witnessed while waiting; the donor's
              vector predates them, so control-2 re-applies them after
              installation *)
+      mutable hints : int list list;
+          (* buffered fail-lock hints (partial replication): items other
+             sites know this site missed, applied after the donor's state
+             is installed *)
       started_at : Vtime.t;
     }
 
@@ -67,7 +76,7 @@ type t = {
   faillocks : Faillock.t;
   log : Update_log.t;
   stable : Wal.t option;  (* simulated stable storage (durability extension) *)
-  placement : bool array array;  (* this site's view: placement.(site).(item) *)
+  placement : Placement.View.t;  (* this site's view of who holds what *)
   pending_prepares : (int, Database.write list) Hashtbl.t;
   participant_started : (int, Vtime.t) Hashtbl.t;
   mutable mode : mode;
@@ -99,7 +108,10 @@ let create ~id ~config ~metrics ~on_outcome ?obs () =
     metrics;
     on_outcome;
     vector = Session.create ~num_sites;
-    db = Database.create_partial ~num_items ~stored;
+    db =
+      (match config.Config.replication with
+      | Config.Full -> Database.create ~num_items
+      | Config.Partial _ -> Database.create_partial ~num_items ~stored);
     faillocks = Faillock.create ~num_items ~num_sites;
     log = Update_log.create ();
     stable =
@@ -107,9 +119,7 @@ let create ~id ~config ~metrics ~on_outcome ?obs () =
       | Config.In_memory -> None
       | Config.Durable_wal { checkpoint_interval } ->
         Some (Wal.create ~checkpoint_interval ~num_items ()));
-    placement =
-      Array.init num_sites (fun site ->
-          Array.init num_items (fun item -> Config.stores config ~site ~item));
+    placement = Placement.View.create (Config.placement config);
     pending_prepares = Hashtbl.create 16;
     participant_started = Hashtbl.create 16;
     mode = Normal;
@@ -148,8 +158,9 @@ let database t = t.db
 let faillocks t = t.faillocks
 let vector t = t.vector
 let log t = t.log
-let stores t ~item = t.placement.(t.id).(item)
-let believes_stored t ~site ~item = t.placement.(site).(item)
+let stores t ~item = Placement.View.holds t.placement ~site:t.id ~item
+let believes_stored t ~site ~item = Placement.View.holds t.placement ~site ~item
+let partial t = not (Placement.View.is_full t.placement)
 let locked_items t = Faillock.locked_items_for t.faillocks ~site:t.id
 let is_recovering t = Faillock.any_locked_for t.faillocks ~site:t.id
 let is_waiting t = match t.mode with Waiting_recovery _ -> true | Normal -> false
@@ -179,12 +190,7 @@ let on_crash t =
   Hashtbl.reset t.participant_started;
   (* Under the durability extension the crash also loses the volatile
      database; only the write-ahead log survives.  Recovery replays it. *)
-  match t.stable with
-  | None -> ()
-  | Some _ ->
-    for item = 0 to Database.num_items t.db - 1 do
-      Database.materialize t.db { Database.item; value = 0; version = 0 }
-    done
+  match t.stable with None -> () | Some _ -> Database.wipe t.db
 
 let ms_of = Vtime.to_ms
 
@@ -212,10 +218,22 @@ let emit t ctx event =
    of [item], per this site's fail-lock table and placement view.  The
    lowest-id match, as [List.find_opt] over the operational list gave. *)
 let find_source t item =
-  Session.first_operational t.vector (fun s ->
-      s <> t.id
-      && t.placement.(s).(item)
-      && not (Faillock.is_locked t.faillocks ~item ~site:s))
+  if Placement.View.is_full t.placement then
+    Session.first_operational t.vector (fun s ->
+        s <> t.id && not (Faillock.is_locked t.faillocks ~item ~site:s))
+  else begin
+    (* O(k): scan the item's holders instead of the operational list,
+       keeping the lowest-id match (what the full scan returned). *)
+    let best = ref (-1) in
+    Placement.View.iter_holders t.placement item (fun s ->
+        if
+          s <> t.id
+          && ((!best < 0) || s < !best)
+          && Session.is_up t.vector s
+          && not (Faillock.is_locked t.faillocks ~item ~site:s)
+        then best := s);
+    if !best < 0 then None else Some !best
+  end
 
 (* Control transaction type 2: mark the given sites down and announce the
    failure to the remaining operational sites. *)
@@ -237,27 +255,68 @@ let announce_failures t ctx failed =
            })
   end
 
+(* The special transaction informing other sites of fail-lock bits cleared
+   by copier transactions (or a commit that refreshed a stale copy under
+   partial replication). *)
+let broadcast_clears t ctx items =
+  if items <> [] then begin
+    iter_others t (fun r ->
+        Engine.work ctx t.cost.Cost_model.faillock_clear_send;
+        Engine.send ctx r (Message.Faillocks_cleared { site = t.id; items });
+        t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1);
+    if tracing t then
+      emit t ctx
+        (Obs.Control
+           {
+             kind = Obs.Clear_special;
+             detail = Printf.sprintf "%d items" (List.length items);
+           })
+  end
+
 (* Commit-time fail-lock maintenance (paper §1.2): for each written item,
    unconditionally clear the bit of every up site and set the bit of every
-   down site — restricted to sites that hold a copy of the item, since a
-   non-holder cannot miss an update. *)
-let faillock_commit_update t ctx writes =
+   down site.  Under partial replication knowledge is group-local: only
+   holders of an item maintain its bits, and only holders' bits exist —
+   a non-holder cannot miss an update, and a non-holder's table would
+   never hear the commit-time clears.  Two partial-mode refinements:
+
+   - [witness]: the coordinator records the bits even for items it does
+     not hold.  Without this, a write committed while some holders are
+     down leaves the staleness known only to the up holders — and if
+     those fail too, the knowledge is gone and a recovering holder would
+     serve stale reads.  The coordinator acts as a witness; its bits are
+     dropped at its own control-1 install (non-stored rows are cleared)
+     and by the clear broadcasts below, so they cannot outlive the
+     staleness they record.
+
+   - A participant whose own stale copy is refreshed by this very commit
+     (it was fail-locked, and whole-item writes overwrite the copy)
+     broadcasts the clear of its own bit: under partial replication the
+     commit reaches only the holders of the written items, but witnesses
+     and holders of *other* items this site shares a group with are not
+     participants and would keep the stale bit forever. *)
+let faillock_commit_update ?(witness = false) t ctx writes =
   if faillocks_on t then begin
     let set_count = ref 0 and cleared = ref 0 in
+    let self_cleared = ref [] in
     List.iter
       (fun { Database.item; _ } ->
         Engine.work ctx t.cost.Cost_model.faillock_update_per_write;
-        Faillock.commit_update t.faillocks ~item
-          ~site_up:(fun s -> Session.is_up t.vector s)
-          ~set:set_count ~cleared;
-        (* Undo bits commit_update set for down sites without a copy. *)
-        for s = 0 to Session.num_sites t.vector - 1 do
-          if (not t.placement.(s).(item)) && Faillock.is_locked t.faillocks ~item ~site:s then
-            if Faillock.clear t.faillocks ~item ~site:s then decr set_count
-        done)
+        if Placement.View.is_full t.placement then
+          Faillock.commit_update t.faillocks ~item
+            ~site_up:(fun s -> Session.is_up t.vector s)
+            ~set:set_count ~cleared
+        else if witness || stores t ~item then begin
+          if stores t ~item && Faillock.is_locked t.faillocks ~item ~site:t.id then
+            self_cleared := item :: !self_cleared;
+          Placement.View.iter_holders t.placement item (fun s ->
+              Faillock.update_for t.faillocks ~item ~site:s ~up:(Session.is_up t.vector s)
+                ~set:set_count ~cleared)
+        end)
       writes;
     t.metrics.Metrics.faillocks_set <- t.metrics.Metrics.faillocks_set + !set_count;
-    t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + !cleared
+    t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + !cleared;
+    broadcast_clears t ctx (List.rev !self_cleared)
   end
 
 (* Log a committed write to stable storage (durability extension). *)
@@ -303,23 +362,6 @@ let install_refreshed t ctx ~round writes =
       end
       else None)
     writes
-
-(* The special transaction informing other sites of fail-lock bits cleared
-   by copier transactions. *)
-let broadcast_clears t ctx items =
-  if items <> [] then begin
-    iter_others t (fun r ->
-        Engine.work ctx t.cost.Cost_model.faillock_clear_send;
-        Engine.send ctx r (Message.Faillocks_cleared { site = t.id; items });
-        t.metrics.Metrics.clear_specials_sent <- t.metrics.Metrics.clear_specials_sent + 1);
-    if tracing t then
-      emit t ctx
-        (Obs.Control
-           {
-             kind = Obs.Clear_special;
-             detail = Printf.sprintf "%d items" (List.length items);
-           })
-  end
 
 (* {2 Two-step recovery (paper §3.2 extension)} *)
 
@@ -395,18 +437,21 @@ let maybe_spawn_backups t ctx writes =
   if t.config.Config.spawn_backups then
     List.iter
       (fun ({ Database.item; _ } as write) ->
-        let holders = ref 0 in
-        Session.iter_operational t.vector (fun s ->
-            if t.placement.(s).(item) then incr holders);
-        if !holders = 1 then begin
-          match Session.first_operational t.vector (fun s -> not t.placement.(s).(item)) with
+        let holders =
+          Placement.View.count_holders_if t.placement item (Session.is_up t.vector)
+        in
+        if holders = 1 then begin
+          match
+            Session.first_operational t.vector (fun s ->
+                not (Placement.View.holds t.placement ~site:s ~item))
+          with
           | None -> ()
           | Some target ->
             Engine.work ctx t.cost.Cost_model.backup_spawn;
             (* Broadcast so every operational site updates its placement
                view; the target also materialises the copy. *)
             iter_others t (fun r -> Engine.send ctx r (Message.Backup_copy { target; write }));
-            t.placement.(target).(item) <- true;
+            Placement.View.add_backup t.placement ~site:target ~item;
             if target = t.id then Database.materialize t.db write;
             t.metrics.Metrics.control3_backups <- t.metrics.Metrics.control3_backups + 1;
             if tracing t then
@@ -484,7 +529,7 @@ let local_commit t ctx coord =
       :: t.metrics.Metrics.phase_commit_ms
   | Copying _ | Preparing _ -> ());
   apply_writes t ctx ~txn:coord.txn.Txn.id coord.writes;
-  faillock_commit_update t ctx coord.writes;
+  faillock_commit_update ~witness:true t ctx coord.writes;
   let reads = collect_reads t coord in
   finish t ctx coord ~committed:true ~abort_reason:None ~reads;
   maybe_spawn_backups t ctx coord.writes;
@@ -499,14 +544,30 @@ let begin_phase1 t ctx coord =
     t.metrics.Metrics.phase_copy_ms <-
       ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
       :: t.metrics.Metrics.phase_copy_ms;
-  (* Every operational site participates, even one storing none of the
-     written items: fail-locks are fully replicated (paper §1.1), so every
-     site must see the commit to maintain its table. *)
-  let participant_count = count_others t in
+  (* Under full replication every operational site participates, even one
+     storing none of the written items: fail-locks are fully replicated
+     (paper §1.1), so every site must see the commit to maintain its
+     table.  Under partial replication fail-lock knowledge is group-local,
+     so only the operational holders of the written items participate —
+     the 2PC fan-out is O(k · writes) instead of O(sites). *)
+  let participants = Bitset.create (Session.num_sites t.vector) in
+  let participant_count = ref 0 in
+  if Placement.View.is_full t.placement then begin
+    participant_count := count_others t;
+    iter_others t (fun s -> Bitset.set participants s)
+  end
+  else
+    List.iter
+      (fun { Database.item; _ } ->
+        Placement.View.iter_holders t.placement item (fun s ->
+            if s <> t.id && Session.is_up t.vector s && not (Bitset.mem participants s) then begin
+              Bitset.set participants s;
+              incr participant_count
+            end))
+      coord.writes;
+  let participant_count = !participant_count in
   if participant_count = 0 then local_commit t ctx coord
   else begin
-    let participants = Bitset.create (Session.num_sites t.vector) in
-    iter_others t (fun s -> Bitset.set participants s);
     coord.phase <-
       Preparing
         {
@@ -554,7 +615,7 @@ let begin_txn t ctx txn =
       txn;
       started_at;
       writes;
-      phase = Copying { pending_sources = Bitset.create (Session.num_sites t.vector); remaining = 0 };
+      phase = Copying { pending = Array.make (Session.num_sites t.vector) 0; remaining = 0 };
       phase_entered_at = started_at;
       copier_requests = 0;
       copier_items = 0;
@@ -575,13 +636,11 @@ let begin_txn t ctx txn =
   (* Under partial replication a written item must have at least one
      operational holder, or the update would be installed nowhere. *)
   let write_unavailable =
-    match t.config.Config.replication with
-    | Config.Full -> false
-    | Config.Partial _ ->
-      List.exists
-        (fun { Database.item; _ } ->
-          not (Session.exists_operational t.vector (fun s -> t.placement.(s).(item))))
-        writes
+    partial t
+    && List.exists
+         (fun { Database.item; _ } ->
+           not (Placement.View.exists_holder t.placement item (Session.is_up t.vector)))
+         writes
   in
   if write_unavailable then
     finish t ctx coord ~committed:false ~abort_reason:(Some Metrics.Write_unavailable) ~reads:[]
@@ -624,10 +683,10 @@ let begin_txn t ctx txn =
     else begin
       if tracing t then
         emit t ctx (Obs.Phase_enter { txn = txn.Txn.id; phase = Obs.Copy });
-      let pending_sources = Bitset.create (Session.num_sites t.vector) in
+      let pending = Array.make (Session.num_sites t.vector) 0 in
       List.iter
         (fun (source, items) ->
-          Bitset.set pending_sources source;
+          pending.(source) <- pending.(source) + 1;
           Engine.work ctx t.cost.Cost_model.copier_request_send;
           Engine.send ctx source (Message.Copy_request { txn = txn.Txn.id; items });
           coord.copier_requests <- coord.copier_requests + 1;
@@ -637,7 +696,7 @@ let begin_txn t ctx txn =
               (Obs.Copier_request
                  { txn = txn.Txn.id; source; items = List.length items }))
         groups;
-      coord.phase <- Copying { pending_sources; remaining = List.length groups };
+      coord.phase <- Copying { pending; remaining = List.length groups };
       coord.phase_entered_at <- Engine.time ctx
     end
   end
@@ -654,6 +713,11 @@ let abort_txn t ctx coord ~reason ~notify =
     if notify && tracing t then
       emit t ctx (Obs.Decide { txn = coord.txn.Txn.id; commit = false })
   end;
+  (* Without embedded clears an abort message carries nothing, yet copier
+     installs that already ran have cleared local bits other sites track;
+     under partial replication announce them explicitly. *)
+  if (not t.config.Config.embed_clears) && partial t then
+    broadcast_clears t ctx coord.cleared_items;
   finish t ctx coord ~committed:false ~abort_reason:(Some reason) ~reads:[]
 
 (* {2 The event handler} *)
@@ -694,20 +758,74 @@ let handle_copy_reply t ctx ~txn ~writes ~src =
         t.metrics.Metrics.copier_items_refreshed <-
           t.metrics.Metrics.copier_items_refreshed + List.length cleared;
         coord.cleared_items <- cleared @ coord.cleared_items;
-        if Bitset.mem c.pending_sources src then begin
-          Bitset.clear c.pending_sources src;
+        if c.pending.(src) > 0 then begin
+          c.pending.(src) <- c.pending.(src) - 1;
           c.remaining <- c.remaining - 1;
           if c.remaining = 0 then begin
             (* All copier transactions done: run the special transaction to
                clear fail-locks at other sites (unless the information is
-               embedded in the commit protocol), then enter phase 1. *)
-            if not t.config.Config.embed_clears then
+               embedded in the commit protocol), then enter phase 1.  Under
+               partial replication the broadcast runs regardless: embedded
+               clears only reach the commit's participants, but witnesses
+               and fellow holders outside this write set also track the
+               cleared bits. *)
+            if (not t.config.Config.embed_clears) || partial t then
               broadcast_clears t ctx coord.cleared_items;
             begin_phase1 t ctx coord
           end
         end
       | Preparing _ | Committing _ -> ()
     end
+
+(* Copy_unavailable failover (partial replication).  A non-holder
+   coordinator has no fail-lock knowledge for the item, so the holder it
+   picked as source may itself turn out to be stale.  The refusal is
+   authoritative only about that holder's own copy: retry each refused
+   item at its next holder in id order rather than aborting.  Source ids
+   increase strictly on every retry, so the loop terminates; only when an
+   item has no further candidate does the transaction abort (the paper's
+   "inability to get up-to-date copies" case).  The refusing source still
+   sends its Copy_reply for the items it could serve, which is what
+   decrements its pending slot. *)
+let retry_copy_sources t ctx coord c ~failed ~items =
+  let next_source item =
+    let best = ref (-1) in
+    Placement.View.iter_holders t.placement item (fun s ->
+        if
+          s <> t.id
+          && s > failed
+          && ((!best < 0) || s < !best)
+          && Session.is_up t.vector s
+          && not (Faillock.is_locked t.faillocks ~item ~site:s)
+        then best := s);
+    if !best < 0 then None else Some !best
+  in
+  let num_sites = Session.num_sites t.vector in
+  let by_source = Array.make num_sites [] in
+  let stuck = ref false in
+  List.iter
+    (fun item ->
+      match next_source item with
+      | None -> stuck := true
+      | Some s -> by_source.(s) <- item :: by_source.(s))
+    items;
+  if !stuck then abort_txn t ctx coord ~reason:Metrics.Copier_unavailable ~notify:false
+  else
+    for source = 0 to num_sites - 1 do
+      if by_source.(source) <> [] then begin
+        let items = List.rev by_source.(source) in
+        c.pending.(source) <- c.pending.(source) + 1;
+        c.remaining <- c.remaining + 1;
+        Engine.work ctx t.cost.Cost_model.copier_request_send;
+        Engine.send ctx source (Message.Copy_request { txn = coord.txn.Txn.id; items });
+        coord.copier_requests <- coord.copier_requests + 1;
+        t.metrics.Metrics.copier_requests <- t.metrics.Metrics.copier_requests + 1;
+        if tracing t then
+          emit t ctx
+            (Obs.Copier_request
+               { txn = coord.txn.Txn.id; source; items = List.length items })
+      end
+    done
 
 let apply_embedded_clears t ~coordinator items =
   let cleared =
@@ -835,7 +953,7 @@ let begin_recovery t ctx =
   | designated :: _ ->
     t.mode <-
       Waiting_recovery
-        { new_session; candidates; observed_down = []; started_at = Engine.time ctx };
+        { new_session; candidates; observed_down = []; hints = []; started_at = Engine.time ctx };
     (* Announce to every other site — the paper sends to each operational
        site, but our vector is stale, and a site we wrongly believe down
        must still learn our new session number (announcements to actually
@@ -853,6 +971,20 @@ let begin_recovery t ctx =
 
 let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
   Session.mark_up t.vector site ~session;
+  (* Partial replication: fail-lock knowledge is group-local, and the
+     state donor may not hold (hence not track) items the recovering site
+     missed.  Every operational site that knows of missed updates sends
+     the recovering site a hint; it applies them after installing the
+     donor's state. *)
+  if
+    partial t && faillocks_on t && (not (is_waiting t))
+    && Faillock.any_locked_for t.faillocks ~site
+  then begin
+    Engine.work ctx t.cost.Cost_model.faillock_clear_send;
+    Engine.send ctx src
+      (Message.Faillock_hint
+         { for_site = site; items = Faillock.locked_items_for t.faillocks ~site })
+  end;
   if want_state then begin
     if is_waiting t then
       (* We cannot serve authoritative state while waiting ourselves; the
@@ -867,7 +999,7 @@ let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
            {
              vector = Session.copy t.vector;
              faillocks = Faillock.copy t.faillocks;
-             placement = Array.map Array.copy t.placement;
+             backups = Placement.View.extras t.placement;
            });
       t.metrics.Metrics.control1_operational_ms <-
         ms_of
@@ -885,16 +1017,31 @@ let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
     end
   end
 
-let handle_recovery_state t ctx ~vector ~faillocks ~placement =
+(* A fail-lock hint names items this site missed updates on; keep the
+   ones it actually holds (group-local knowledge). *)
+let apply_faillock_hint t items =
+  let fresh = ref 0 in
+  List.iter
+    (fun item ->
+      if stores t ~item && Faillock.set t.faillocks ~item ~site:t.id then incr fresh)
+    items;
+  t.metrics.Metrics.faillocks_set <- t.metrics.Metrics.faillocks_set + !fresh
+
+let handle_recovery_state t ctx ~vector ~faillocks ~backups =
   match t.mode with
   | Normal -> ()  (* duplicate or stale state shipment *)
-  | Waiting_recovery { new_session; started_at; observed_down; _ } ->
+  | Waiting_recovery { new_session; started_at; observed_down; hints; _ } ->
     let num_items = t.config.Config.num_items in
     Engine.work ctx t.cost.Cost_model.recovery_install_base;
     Engine.work ctx (num_items * t.cost.Cost_model.recovery_install_per_item);
     Session.install t.vector ~from:vector;
-    Faillock.install t.faillocks ~from:faillocks;
-    Array.iteri (fun s row -> Array.blit placement.(s) 0 row 0 (Array.length row)) t.placement;
+    Placement.View.install_extras t.placement backups;
+    (* Under partial replication only rows of locally held items are
+       installed: this site will never hear commit-time clears for items
+       it does not hold, so foreign rows would go stale. *)
+    (if Placement.View.is_full t.placement then Faillock.install t.faillocks ~from:faillocks
+     else Faillock.install ~keep:(fun item -> stores t ~item) t.faillocks ~from:faillocks);
+    List.iter (apply_faillock_hint t) (List.rev hints);
     Session.mark_up t.vector t.id ~session:new_session;
     t.mode <- Normal;
     t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1;
@@ -983,7 +1130,7 @@ let handle_send_failed t ctx ~dst ~payload =
       | Normal -> announce_failures t ctx [ dst ]
     end
   | Message.Faillocks_cleared _ | Message.Failure_announce _ | Message.Backup_copy _
-  | Message.Abort _ ->
+  | Message.Abort _ | Message.Faillock_hint _ ->
     announce_failures t ctx [ dst ]
   | Message.Copy_reply _ | Message.Copy_unavailable _ | Message.Recovery_state _ ->
     (* A reply to a site that died after asking; nothing of ours is
@@ -1045,7 +1192,7 @@ let handle_message t ctx ~src payload =
     if bad <> [] then Engine.send ctx src (Message.Copy_unavailable { txn; items = bad });
     Engine.send ctx src (Message.Copy_reply { txn; writes })
   | Message.Copy_reply { txn; writes } -> handle_copy_reply t ctx ~txn ~writes ~src
-  | Message.Copy_unavailable { txn; _ } -> begin
+  | Message.Copy_unavailable { txn; items } -> begin
     if txn < 0 then begin
       match t.batch with
       | Some b when b.round_id = txn -> finish_batch_source t ctx b src
@@ -1053,7 +1200,12 @@ let handle_message t ctx ~src payload =
     end
     else
       match current_coord t txn with
-      | Some coord -> abort_txn t ctx coord ~reason:Metrics.Copier_unavailable ~notify:false
+      | Some coord -> begin
+        match coord.phase with
+        | Copying c when partial t -> retry_copy_sources t ctx coord c ~failed:src ~items
+        | Copying _ | Preparing _ | Committing _ ->
+          abort_txn t ctx coord ~reason:Metrics.Copier_unavailable ~notify:false
+      end
       | None -> ()
   end
   | Message.Faillocks_cleared { site; items } ->
@@ -1069,16 +1221,22 @@ let handle_message t ctx ~src payload =
       :: t.metrics.Metrics.clear_special_ms
   | Message.Recovery_announce { site; session; want_state } ->
     handle_recovery_announce t ctx ~site ~session ~want_state ~src
-  | Message.Recovery_state { vector; faillocks; placement } ->
-    handle_recovery_state t ctx ~vector ~faillocks ~placement
+  | Message.Recovery_state { vector; faillocks; backups } ->
+    handle_recovery_state t ctx ~vector ~faillocks ~backups
   | Message.Failure_announce { failed } ->
     Engine.work ctx t.cost.Cost_model.failure_announce_process;
     Session.merge_failure t.vector failed;
     t.metrics.Metrics.control2_ms <-
       ms_of (t.cost.Cost_model.failure_announce_process + t.cost.Cost_model.message_latency)
       :: t.metrics.Metrics.control2_ms
+  | Message.Faillock_hint { for_site; items } ->
+    if for_site = t.id then begin
+      match t.mode with
+      | Waiting_recovery w -> w.hints <- items :: w.hints
+      | Normal -> apply_faillock_hint t items
+    end
   | Message.Backup_copy { target; write } ->
-    t.placement.(target).(write.Database.item) <- true;
+    Placement.View.add_backup t.placement ~site:target ~item:write.Database.item;
     if target = t.id then begin
       let stale =
         match Database.version t.db write.Database.item with

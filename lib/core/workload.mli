@@ -16,6 +16,14 @@ type spec =
   | Uniform of { max_ops : int; write_prob : float }
       (** The paper's generator: size uniform in [1, max_ops], each op a
           write with probability [write_prob] (paper: 0.5), item uniform. *)
+  | Zipfian of { max_ops : int; write_prob : float; theta : float }
+      (** [Uniform]'s op-mix contract (size uniform in [1, max_ops], each
+          op a write with probability [write_prob]) with zipf-distributed
+          items: item 0 is the hottest, skew grows with
+          [theta] in (0,1) (YCSB's parameterisation; 0.99 is its
+          "zipfian" default).  Draws are rejection-free (Gray et al.), so
+          the generator consumes exactly one uniform draw per item like
+          [Uniform] does. *)
   | Et1 of { branches : int; tellers_per_branch : int; accounts_per_branch : int }
       (** DebitCredit: each transaction read-modify-writes one account,
           its teller and its branch.  The item space is carved into

@@ -348,16 +348,13 @@ type partial_row = {
 
 let partial_replication ?(seed = 25) () =
   let num_sites = 4 and num_items = 50 in
-  let placement =
-    Array.init num_sites (fun site ->
-        Array.init num_items (fun item ->
-            (* two copies per item, on consecutive sites *)
-            site = item mod num_sites || site = (item + 1) mod num_sites))
+  (* two copies per item, on consecutive sites *)
+  let spec =
+    Raid_core.Placement.spec ~sharding:Raid_core.Placement.Modular ~factor:2 ()
   in
   let run ~label ~spawn_backups =
     let config =
-      Config.make ~replication:(Config.Partial (Array.map Array.copy placement)) ~spawn_backups
-        ~num_sites ~num_items ()
+      Config.make ~replication:(Config.Partial spec) ~spawn_backups ~num_sites ~num_items ()
     in
     let scenario =
       Scenario.make ~policy:(Scenario.Fixed 2) ~seed ~config ~workload:paper_workload

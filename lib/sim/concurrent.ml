@@ -87,7 +87,7 @@ let run ?(seed = 17) ?(concurrency = 4) ?(txns = 200) ?(churn = []) ?telemetry ~
     ~workload () =
   if concurrency <= 0 then invalid_arg "Concurrent.run: concurrency must be positive";
   if txns <= 0 then invalid_arg "Concurrent.run: txns must be positive";
-  let cluster = Cluster.create ?telemetry config in
+  let cluster = Cluster.create ~settings:(Cluster.settings ?telemetry ()) config in
   let generator =
     Workload.create workload ~num_items:config.Config.num_items ~rng:(Rng.create seed)
   in

@@ -12,7 +12,7 @@ type t = { cluster : Cluster.t; workload : Workload.t; rng : Rng.t }
 
 let create ?(sites = 4) ?(items = 50) ?(max_ops = 5) ?(seed = 42) () =
   let config = Config.make ~num_sites:sites ~num_items:items () in
-  let cluster = Cluster.create ~trace:true config in
+  let cluster = Cluster.create ~settings:(Cluster.settings ~trace:true ()) config in
   let rng = Rng.create seed in
   let workload =
     Workload.create (Workload.Uniform { max_ops; write_prob = 0.5 }) ~num_items:items

@@ -112,7 +112,8 @@ let run_action state ~check_invariants action =
 
 let run ?(check_invariants = true) ?(trace = false) ?obs ?telemetry (scenario : Scenario.t) =
   let cluster =
-    Cluster.create ~detection:scenario.Scenario.detection ~trace ?obs ?telemetry
+    Cluster.create
+      ~settings:(Cluster.settings ~detection:scenario.Scenario.detection ~trace ?obs ?telemetry ())
       scenario.Scenario.config
   in
   let rng = Rng.create scenario.Scenario.seed in

@@ -64,6 +64,36 @@ val recovery_vs_cluster_size :
 
 val cluster_size_table : cluster_size_row list -> Raid_util.Table.t
 
+type partial_row = {
+  ps_sites : int;
+  ps_factor : int;  (** replication factor; 0 means full replication *)
+  ps_committed : int;
+  ps_aborted : int;
+  ps_txns_per_vsec : float;
+  ps_events : int;
+  ps_messages : int;
+}
+
+val partial_scaling :
+  ?domains:int ->
+  ?seed:int ->
+  ?site_counts:int list ->
+  ?items:int ->
+  ?factor:int ->
+  ?zipf_theta:float ->
+  ?duration_ms:float ->
+  unit ->
+  partial_row list
+(** Steady-state zipfian throughput under k-holder placement across
+    [site_counts] (default 64-1024 sites over 10^5 items, k=3,
+    theta=0.9), preceded by a full-replication baseline at the smallest
+    site count.  Under write-all-available every write touches every
+    site, so throughput is flat in the cluster size; with k holders the
+    per-write cost is constant and committed throughput grows with the
+    site count.  @raise Invalid_argument on an empty [site_counts]. *)
+
+val partial_scaling_table : partial_row list -> Raid_util.Table.t
+
 type scenario1_summary = {
   s1_seeds : int;
   aborts : Raid_util.Stats.summary;

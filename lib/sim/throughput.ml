@@ -18,10 +18,12 @@ type config = {
   write_prob : float;
   duration_ms : float;
   failure : failure option;
+  replication : Config.replication;
+  zipf_theta : float option;  (** hot-spot skew; [None] keeps the uniform draw *)
 }
 
 let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
-    ?(duration_ms = 10_000.0) ?failure () =
+    ?(duration_ms = 10_000.0) ?failure ?(replication = Config.Full) ?zipf_theta () =
   if sites <= 0 then invalid_arg "Throughput: sites must be positive";
   if items <= 0 then invalid_arg "Throughput: items must be positive";
   if duration_ms <= 0.0 then invalid_arg "Throughput: duration must be positive";
@@ -31,7 +33,7 @@ let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
     if fail_site < 0 || fail_site >= sites then invalid_arg "Throughput: fail_site out of range";
     if fail_at_ms < 0.0 || recover_at_ms <= fail_at_ms then
       invalid_arg "Throughput: need 0 <= fail_at < recover_at");
-  { sites; items; max_ops; write_prob; duration_ms; failure }
+  { sites; items; max_ops; write_prob; duration_ms; failure; replication; zipf_theta }
 
 (* Failure times are absolute virtual times (not fractions of the
    duration), so a longer run of the same seed is a strict extension of a
@@ -84,16 +86,21 @@ let events_per_sec ~wall_s r =
    mid-run, so the measurement covers normal processing, the degraded
    window and the recovery tail in one trajectory. *)
 let run ?(seed = 42) ?telemetry config =
-  let ccfg = Config.make ~num_sites:config.sites ~num_items:config.items () in
-  let cluster = Cluster.create ?telemetry ccfg in
+  let ccfg =
+    Config.make ~replication:config.replication ~num_sites:config.sites
+      ~num_items:config.items ()
+  in
+  let cluster = Cluster.create ~settings:(Cluster.settings ?telemetry ()) ccfg in
   let engine = Cluster.engine cluster in
   let metrics = Cluster.metrics cluster in
   let rng = Rng.create seed in
-  let workload =
-    Workload.create
-      (Workload.Uniform { max_ops = config.max_ops; write_prob = config.write_prob })
-      ~num_items:config.items ~rng:(Rng.split rng)
+  let workload_spec =
+    match config.zipf_theta with
+    | None -> Workload.Uniform { max_ops = config.max_ops; write_prob = config.write_prob }
+    | Some theta ->
+      Workload.Zipfian { max_ops = config.max_ops; write_prob = config.write_prob; theta }
   in
+  let workload = Workload.create workload_spec ~num_items:config.items ~rng:(Rng.split rng) in
   let committed = ref 0 and aborted = ref 0 and submitted = ref 0 in
   let windows = Hashtbl.create 32 in
   let failed = ref false and recovered_once = ref false in
@@ -109,14 +116,22 @@ let run ?(seed = 42) ?telemetry config =
     | Some f when !failed && now_ms () >= f.recover_at_ms -> Some f.fail_site
     | _ -> None
   in
-  let pick_coordinator () =
-    let operational =
+  (* The operational set only changes at the staged failure/recovery
+     (and a blocked recovery), so the candidate list is cached rather
+     than rebuilt per transaction — an O(sites) allocation that dominated
+     the driver at large site counts.  [Rng.choose] consumes one draw
+     either way, so the stream is unchanged. *)
+  let operational = ref [] in
+  let refresh_operational () =
+    operational :=
       List.filter
         (fun s -> not (Raid_core.Site.is_waiting (Cluster.site cluster s)))
         (Cluster.alive_sites cluster)
-    in
-    if operational = [] then invalid_arg "Throughput: no operational site";
-    Rng.choose rng operational
+  in
+  refresh_operational ();
+  let pick_coordinator () =
+    if !operational = [] then invalid_arg "Throughput: no operational site";
+    Rng.choose rng !operational
   in
   (* Each window keeps its commit/abort tallies plus a snapshot of the
      cumulative protocol counters at its last recorded transaction; the
@@ -152,14 +167,16 @@ let run ?(seed = 42) ?telemetry config =
     (match fail_due () with
     | Some site ->
       Cluster.fail_site cluster site;
-      failed := true
+      failed := true;
+      refresh_operational ()
     | None -> ());
     (match recover_due () with
     | Some site ->
       (match Cluster.recover_site cluster site with
       | `Recovered -> recovered_once := true
       | `Blocked -> ());
-      failed := false
+      failed := false;
+      refresh_operational ()
     | None -> ());
     let id = Cluster.next_txn_id cluster in
     incr submitted;
@@ -214,8 +231,16 @@ let results_table ~config results =
       ~title:
         (Printf.sprintf
            "Steady-state throughput: %d sites, %d items, txn<=%d ops, P(write)=%.2f, %.0f \
-            virtual ms%s"
+            virtual ms%s%s%s"
            config.sites config.items config.max_ops config.write_prob config.duration_ms
+           (match config.replication with
+           | Raid_core.Config.Full -> ""
+           | Raid_core.Config.Partial spec ->
+             Printf.sprintf ", k=%d %s" spec.Raid_core.Placement.factor
+               (Raid_core.Placement.sharding_to_string spec.Raid_core.Placement.sharding))
+           (match config.zipf_theta with
+           | None -> ""
+           | Some theta -> Printf.sprintf ", zipf theta=%.2f" theta)
            (match config.failure with
            | None -> ", no failure"
            | Some f ->

@@ -19,6 +19,8 @@ type config = {
   write_prob : float;
   duration_ms : float;  (** virtual run length *)
   failure : failure option;
+  replication : Raid_core.Config.replication;
+  zipf_theta : float option;  (** hot-spot skew; [None] keeps the uniform draw *)
 }
 
 val make_config :
@@ -28,12 +30,14 @@ val make_config :
   ?write_prob:float ->
   ?duration_ms:float ->
   ?failure:failure ->
+  ?replication:Raid_core.Config.replication ->
+  ?zipf_theta:float ->
   unit ->
   config
 (** Defaults: 16 sites, 500 items, txn <= 5 ops, P(write) 0.5, 10 000
-    virtual ms, no failure.  @raise Invalid_argument on non-positive
-    sizes/duration, an out-of-range [fail_site], or
-    [recover_at_ms <= fail_at_ms]. *)
+    virtual ms, no failure, full replication, uniform items.
+    @raise Invalid_argument on non-positive sizes/duration, an
+    out-of-range [fail_site], or [recover_at_ms <= fail_at_ms]. *)
 
 val default_failure : sites:int -> duration_ms:float -> failure
 (** Site 0 down from 1/5 to 1/2 of the duration — computed once into

@@ -1,46 +1,79 @@
 type copy = { mutable value : int; mutable version : int; mutable present : bool }
 
-type t = { copies : copy array }
+(* Two backends behind one interface.  [Dense] is the original
+   array-of-copies, right for full replication where every slot is live.
+   [Sparse] carries a base predicate (the static placement) plus a table
+   of copies that have diverged from the initial state — written,
+   materialised or dropped.  An untouched base item reads as
+   (value 0, version 0) without ever allocating, so a 1024-site cluster
+   over 10^5 items costs O(touched) per site instead of O(items). *)
+type repr =
+  | Dense of copy array
+  | Sparse of { base : int -> bool; table : (int, copy) Hashtbl.t }
+
+type t = { num_items : int; repr : repr }
 
 type write = { item : int; value : int; version : int }
 
-let create_with ~num_items ~stored =
+let create ~num_items =
   if num_items < 0 then invalid_arg "Database.create: negative num_items";
-  { copies = Array.init num_items (fun i -> { value = 0; version = 0; present = stored i }) }
+  {
+    num_items;
+    repr = Dense (Array.init num_items (fun _ -> { value = 0; version = 0; present = true }));
+  }
 
-let create ~num_items = create_with ~num_items ~stored:(fun _ -> true)
-let create_partial ~num_items ~stored = create_with ~num_items ~stored
+let create_partial ~num_items ~stored =
+  if num_items < 0 then invalid_arg "Database.create: negative num_items";
+  { num_items; repr = Sparse { base = stored; table = Hashtbl.create 16 } }
 
-let num_items t = Array.length t.copies
+let num_items t = t.num_items
 
 let check t item =
-  if item < 0 || item >= Array.length t.copies then invalid_arg "Database: item out of range"
+  if item < 0 || item >= t.num_items then invalid_arg "Database: item out of range"
+
+(* The copy to read for [item]: a stored slot, or [None] when the item
+   tracks its pristine base state ((0, 0) if the base stores it). *)
+let copy_opt t item =
+  check t item;
+  match t.repr with Dense copies -> Some copies.(item) | Sparse s -> Hashtbl.find_opt s.table item
+
+(* The copy to mutate for [item], allocating a slot on first touch. *)
+let copy_slot t item =
+  check t item;
+  match t.repr with
+  | Dense copies -> copies.(item)
+  | Sparse s -> (
+    match Hashtbl.find_opt s.table item with
+    | Some c -> c
+    | None ->
+      let c = { value = 0; version = 0; present = s.base item } in
+      Hashtbl.replace s.table item c;
+      c)
 
 let stores t item =
-  check t item;
-  t.copies.(item).present
+  match copy_opt t item with
+  | Some c -> c.present
+  | None -> ( match t.repr with Dense _ -> assert false | Sparse s -> s.base item)
 
 let materialize t { item; value; version } =
-  check t item;
-  let c = t.copies.(item) in
+  let c = copy_slot t item in
   c.value <- value;
   c.version <- version;
   c.present <- true
 
 let drop t item =
-  check t item;
-  t.copies.(item).present <- false
+  let c = copy_slot t item in
+  c.present <- false
 
 let read t item =
-  check t item;
-  let c = t.copies.(item) in
-  if c.present then Some (c.value, c.version) else None
+  match copy_opt t item with
+  | Some c -> if c.present then Some (c.value, c.version) else None
+  | None -> ( match t.repr with Dense _ -> assert false | Sparse s -> if s.base item then Some (0, 0) else None)
 
 let version t item = Option.map snd (read t item)
 
 let apply t { item; value; version } =
-  check t item;
-  let c = t.copies.(item) in
+  let c = copy_slot t item in
   if c.present && version <= c.version then
     invalid_arg
       (Printf.sprintf "Database.apply: version regression on item %d (%d <= %d)" item version
@@ -51,8 +84,21 @@ let apply t { item; value; version } =
 
 let apply_all t writes = List.iter (apply t) writes
 
-let snapshot t =
-  Array.map (fun c -> if c.present then Some (c.value, c.version) else None) t.copies
+let wipe t =
+  (* Crash of a volatile store: forget everything back to the creation
+     state (base items pristine at (0, 0), dynamic copies gone).  The
+     write-ahead log replay rebuilds from here. *)
+  match t.repr with
+  | Dense copies ->
+    Array.iter
+      (fun (c : copy) ->
+        c.value <- 0;
+        c.version <- 0;
+        c.present <- true)
+      copies
+  | Sparse s -> Hashtbl.reset s.table
+
+let snapshot t = Array.init t.num_items (fun item -> read t item)
 
 let items_behind replica reference =
   let behind = ref [] in
@@ -66,16 +112,19 @@ let items_behind replica reference =
 
 let equal a b =
   num_items a = num_items b
-  && Array.for_all2
-       (fun (x : copy) (y : copy) ->
-         x.present = y.present && ((not x.present) || (x.value = y.value && x.version = y.version)))
-       a.copies b.copies
+  &&
+  let same = ref true in
+  for item = 0 to num_items a - 1 do
+    if read a item <> read b item then same := false
+  done;
+  !same
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  Array.iteri
-    (fun item c ->
-      if c.present then Format.fprintf ppf "%3d: value=%d version=%d@," item c.value c.version
-      else Format.fprintf ppf "%3d: (absent)@," item)
-    t.copies;
+  for item = 0 to t.num_items - 1 do
+    match read t item with
+    | Some (value, version) ->
+      Format.fprintf ppf "%3d: value=%d version=%d@," item value version
+    | None -> Format.fprintf ppf "%3d: (absent)@," item
+  done;
   Format.fprintf ppf "@]"

@@ -54,6 +54,12 @@ val apply : t -> write -> unit
 
 val apply_all : t -> write list -> unit
 
+val wipe : t -> unit
+(** Forget all volatile state back to the creation state: items covered
+    at creation are pristine again ((value 0, version 0)), dynamically
+    materialised copies are gone.  Models a crash losing main memory;
+    write-ahead-log replay rebuilds from here. *)
+
 val snapshot : t -> (int * int) option array
 (** Per-item [(value, version)] copies; [None] for absent items. *)
 

@@ -9,6 +9,9 @@ let mix64 z =
 
 let create seed = { state = mix64 (Int64.of_int seed) }
 
+let mix n =
+  Int64.to_int (Int64.shift_right_logical (mix64 (Int64.of_int n)) 1)
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -15,6 +15,11 @@ val create : int -> t
     [seed].  Two generators created from the same seed produce identical
     streams. *)
 
+val mix : int -> int
+(** [mix n] is a stateless hash of [n] (the splitmix64 finalizer),
+    returned as a non-negative [int].  Deterministic across runs; used
+    for seedless hashing such as hash-sharded placement. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

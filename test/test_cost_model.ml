@@ -30,11 +30,20 @@ let test_config_validation () =
       ignore
         (Config.make ~recovery:(Config.Two_step { threshold = 1.5; batch_size = 1 }) ~num_sites:2
            ~num_items:1 ()));
-  Alcotest.check_raises "orphan item"
-    (Invalid_argument "Config: item 0 has no copy under the placement") (fun () ->
+  Alcotest.check_raises "bad replication factor"
+    (Invalid_argument "Placement.make: factor must be positive") (fun () ->
       ignore
         (Config.make
-           ~replication:(Config.Partial [| [| false |]; [| false |] |])
+           ~replication:(Config.Partial (Raid_core.Placement.spec ~factor:0 ()))
+           ~num_sites:2 ~num_items:1 ()));
+  Alcotest.check_raises "affinity primary out of range"
+    (Invalid_argument "Placement.make: affinity primary out of range") (fun () ->
+      ignore
+        (Config.make
+           ~replication:
+             (Config.Partial
+                (Raid_core.Placement.spec ~sharding:(Raid_core.Placement.Affinity [| 5 |])
+                   ~factor:1 ()))
            ~num_sites:2 ~num_items:1 ()))
 
 let suite =

@@ -139,8 +139,10 @@ let test_checkpoints_bound_replay () =
     (Cluster.fully_consistent cluster)
 
 let test_backup_copy_is_durable () =
+  (* item 0 held by sites {0,1}, item 1 by {0,2} (two consecutive
+     holders from each item's affinity primary) *)
   let placement =
-    [| [| true; true |]; [| true; false |]; [| false; true |] |]
+    Raid_core.Placement.spec ~sharding:(Raid_core.Placement.Affinity [| 0; 2 |]) ~factor:2 ()
   in
   let config =
     Config.make ~cost:Cost_model.free ~spawn_backups:true
@@ -173,7 +175,7 @@ let test_mid_protocol_crash_with_wal () =
       ~durability:(Config.Durable_wal { checkpoint_interval = 4 })
       ~num_sites:3 ~num_items:8 ()
   in
-  let cluster = Cluster.create ~detection:Cluster.On_timeout ~trace:true config in
+  let cluster = Cluster.create ~settings:(Cluster.settings ~detection:Cluster.On_timeout ~trace:true ()) config in
   (* Seed history so the crashed site has something to replay. *)
   let id = Cluster.next_txn_id cluster in
   ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write 7 ]));

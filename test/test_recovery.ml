@@ -83,10 +83,9 @@ let test_batch_survives_source_failure () =
   Alcotest.(check int) "recovered via batches" 0 (Cluster.faillock_count_for cluster 0);
   check_invariants cluster
 
-let two_copy_placement ~num_sites ~num_items =
-  Array.init num_sites (fun site ->
-      Array.init num_items (fun item ->
-          site = item mod num_sites || site = (item + 1) mod num_sites))
+(* two copies per item, on consecutive sites from [item mod num_sites] *)
+let two_copy_placement ~num_sites:_ ~num_items:_ =
+  Raid_core.Placement.spec ~sharding:Raid_core.Placement.Modular ~factor:2 ()
 
 let test_partial_replication_reads () =
   let num_sites = 3 and num_items = 6 in
@@ -200,7 +199,7 @@ let test_embed_clears_on_abort () =
   let config =
     Config.make ~cost:Cost_model.free ~embed_clears:true ~num_sites:3 ~num_items:8 ()
   in
-  let cluster = Cluster.create ~detection:Cluster.On_timeout config in
+  let cluster = Cluster.create ~settings:(Cluster.settings ~detection:Cluster.On_timeout ()) config in
   lock_items cluster ~down:2 ~coordinator:0 [ 1 ];
   ignore (Cluster.recover_site cluster 2);
   (* Fail a participant without telling anyone, then coordinate at site 2

@@ -53,13 +53,9 @@ let test_eight_sites_everything_on () =
 
 let test_partial_replication_soak () =
   let num_sites = 6 and num_items = 90 in
+  (* three copies per item, on consecutive sites *)
   let placement =
-    Array.init num_sites (fun site ->
-        Array.init num_items (fun item ->
-            (* three copies per item *)
-            site = item mod num_sites
-            || site = (item + 1) mod num_sites
-            || site = (item + 2) mod num_sites))
+    Raid_core.Placement.spec ~sharding:Raid_core.Placement.Modular ~factor:3 ()
   in
   let config =
     Config.make ~cost:Cost_model.free

@@ -8,7 +8,7 @@ module Txn = Raid_core.Txn
 module Timeline = Raid_sim.Timeline
 
 let cluster ?(num_sites = 3) () =
-  Cluster.create ~trace:true
+  Cluster.create ~settings:(Cluster.settings ~trace:true ())
     (Config.make ~cost:Cost_model.free ~num_sites ~num_items:8 ())
 
 let test_plain_commit_trace () =
@@ -85,7 +85,7 @@ let test_render_format () =
     (List.length (String.split_on_char '\n' limited))
 
 let test_undeliverable_marked () =
-  let c = Cluster.create ~trace:true ~detection:Cluster.On_timeout
+  let c = Cluster.create ~settings:(Cluster.settings ~detection:Cluster.On_timeout ~trace:true ())
       (Config.make ~cost:Cost_model.free ~num_sites:2 ~num_items:4 ())
   in
   Cluster.fail_site c 1;

@@ -101,6 +101,67 @@ let test_wisconsin_mix () =
     true
     (!scans > 50 && !updates > 50)
 
+let test_zipfian_bounds_and_mix () =
+  let w = make ~num_items:100 ~seed:7 (Workload.Zipfian { max_ops = 6; write_prob = 0.4; theta = 0.9 }) in
+  let reads = ref 0 and writes = ref 0 in
+  for id = 1 to 500 do
+    let txn = Workload.next w ~id in
+    Alcotest.(check bool) "size in [1,6]" true (Txn.size txn >= 1 && Txn.size txn <= 6);
+    List.iter
+      (fun item -> Alcotest.(check bool) "item in range" true (item >= 0 && item < 100))
+      (Txn.items txn);
+    List.iter
+      (function Txn.Read _ -> incr reads | Txn.Write _ -> incr writes)
+      txn.Txn.ops
+  done;
+  let fraction = float_of_int !writes /. float_of_int (!reads + !writes) in
+  Alcotest.(check bool)
+    (Printf.sprintf "write fraction near 0.4 (%.3f)" fraction)
+    true
+    (fraction > 0.35 && fraction < 0.45)
+
+let test_zipfian_shape () =
+  (* theta = 0.9 concentrates mass on low ranks: item 0 must dominate and
+     the ten hottest items must carry far more than their uniform share
+     (10%% of the draws). *)
+  let num_items = 100 in
+  let w = make ~num_items ~seed:11 (Workload.Zipfian { max_ops = 4; write_prob = 0.5; theta = 0.9 }) in
+  let counts = Array.make num_items 0 in
+  let total = ref 0 in
+  for id = 1 to 3000 do
+    List.iter
+      (fun item ->
+        counts.(item) <- counts.(item) + 1;
+        incr total)
+      (Txn.items (Workload.next w ~id))
+  done;
+  let top10 = ref 0 in
+  for i = 0 to 9 do
+    top10 := !top10 + counts.(i)
+  done;
+  let top10_share = float_of_int !top10 /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "top-10 share well above uniform (%.3f)" top10_share)
+    true (top10_share > 0.4);
+  Alcotest.(check bool) "hottest item is rank 0" true
+    (Array.for_all (fun c -> c <= counts.(0)) counts)
+
+let test_zipfian_determinism () =
+  let spec = Workload.Zipfian { max_ops = 8; write_prob = 0.3; theta = 0.7 } in
+  let a = make ~num_items:64 ~seed:21 spec in
+  let b = make ~num_items:64 ~seed:21 spec in
+  for id = 1 to 100 do
+    Alcotest.(check string) "same stream"
+      (Format.asprintf "%a" Txn.pp (Workload.next a ~id))
+      (Format.asprintf "%a" Txn.pp (Workload.next b ~id))
+  done
+
+let test_zipfian_theta_validation () =
+  Alcotest.check_raises "theta = 0" (Invalid_argument "Workload: zipfian theta must be in (0,1)")
+    (fun () -> ignore (make (Workload.Zipfian { max_ops = 5; write_prob = 0.5; theta = 0.0 })));
+  Alcotest.check_raises "theta = 1" (Invalid_argument "Workload: zipfian theta must be in (0,1)")
+    (fun () -> ignore (make (Workload.Zipfian { max_ops = 5; write_prob = 0.5; theta = 1.0 })))
+
 let test_validation () =
   Alcotest.check_raises "bad max_ops" (Invalid_argument "Workload: max_ops must be positive")
     (fun () -> ignore (make (Workload.Uniform { max_ops = 0; write_prob = 0.5 })));
@@ -120,5 +181,9 @@ let suite =
     Alcotest.test_case "ET1 structure" `Quick test_et1_structure;
     Alcotest.test_case "ET1 space validation" `Quick test_et1_space_validation;
     Alcotest.test_case "Wisconsin mix" `Quick test_wisconsin_mix;
+    Alcotest.test_case "zipfian bounds and op mix" `Quick test_zipfian_bounds_and_mix;
+    Alcotest.test_case "zipfian shape" `Quick test_zipfian_shape;
+    Alcotest.test_case "zipfian determinism" `Quick test_zipfian_determinism;
+    Alcotest.test_case "zipfian theta validation" `Quick test_zipfian_theta_validation;
     Alcotest.test_case "spec validation" `Quick test_validation;
   ]
