@@ -261,9 +261,14 @@ let trace_cmd =
   in
   let scenario_name =
     Arg.(
-      required
+      value
       & pos 0 (some string) None
       & info [] ~docv:"SCENARIO" ~doc:("Scenario to trace. " ^ scenario_doc ^ "."))
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the named scenarios (one per line with a description) and exit.")
   in
   let format =
     Arg.(
@@ -286,8 +291,18 @@ let trace_cmd =
       value & opt (some int) None
       & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
   in
-  let run scenario_name format out seed jobs =
+  let run list scenario_name format out seed jobs =
     set_jobs jobs;
+    if list then
+      List.iter
+        (fun (name, description) -> Printf.printf "%-24s %s\n" name description)
+        Raid_sim.Tracing.scenarios
+    else
+    match scenario_name with
+    | None ->
+      prerr_endline "raid trace: a SCENARIO argument is required (see --list)";
+      exit 2
+    | Some scenario_name ->
     match Raid_sim.Tracing.scenario_of_name ?seed scenario_name with
     | Error message ->
       prerr_endline ("raid trace: " ^ message);
@@ -315,7 +330,7 @@ let trace_cmd =
        ~doc:
          "Run a scenario with the protocol trace enabled and export it (JSONL, Chrome \
           trace-event JSON, or a latency summary).")
-    Term.(const run $ scenario_name $ format $ out $ seed $ jobs)
+    Term.(const run $ list $ scenario_name $ format $ out $ seed $ jobs)
 
 (* `raid metrics` — run a scenario with the telemetry registry attached
    and export the time series. *)
@@ -330,6 +345,11 @@ let metrics_cmd =
     Arg.(
       value & opt string "exp1"
       & info [ "scenario" ] ~docv:"SCENARIO" ~doc:("Scenario to instrument. " ^ scenario_doc ^ "."))
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the named scenarios (one per line with a description) and exit.")
   in
   let sample =
     Arg.(
@@ -359,8 +379,13 @@ let metrics_cmd =
       value & opt (some int) None
       & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
   in
-  let run scenario_name sample format out seed jobs =
+  let run list scenario_name sample format out seed jobs =
     set_jobs jobs;
+    if list then
+      List.iter
+        (fun (name, description) -> Printf.printf "%-24s %s\n" name description)
+        Raid_sim.Monitor.scenarios
+    else begin
     if sample <= 0.0 then begin
       prerr_endline "raid metrics: --sample must be positive";
       exit 2
@@ -372,18 +397,26 @@ let metrics_cmd =
     | Ok scenario ->
       let output = Raid_sim.Monitor.run ~sample:(Raid_net.Vtime.of_ms_f sample) scenario in
       let rendered = Raid_sim.Monitor.render ~format output in
+      (* Build provenance rides at the end of the exposition so the
+         scenario series above stay byte-identical across builds. *)
+      let rendered =
+        match format with
+        | `Prom -> rendered ^ Raid_obs.Build_info.prom_block ()
+        | `Csv -> rendered
+      in
       (match out with
       | None -> print_string rendered
       | Some path ->
         Raid_sim.Export.write_file ~path rendered;
         Printf.printf "metrics written to %s\n" path)
+    end
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run a scenario with the virtual-time telemetry registry attached and export the \
           sampled series (Prometheus text or long-form CSV).")
-    Term.(const run $ scenario_name $ sample $ format $ out $ seed $ jobs)
+    Term.(const run $ list $ scenario_name $ sample $ format $ out $ seed $ jobs)
 
 (* `raid throughput` — steady-state load on a configurable cluster. *)
 let throughput_cmd =
@@ -587,6 +620,117 @@ let concurrency_cmd =
        ~doc:"Sweep concurrent transaction processing levels (conservative strict 2PL).")
     Term.(const run $ levels $ txns $ jobs)
 
+(* `raid serve` — a live soak with the HTTP introspection API. *)
+let serve_cmd =
+  let port =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"Listen on 127.0.0.1:$(docv); $(b,0) picks an ephemeral port.")
+  in
+  let accel =
+    Arg.(
+      value & opt float 1.0
+      & info [ "accel" ] ~docv:"X"
+          ~doc:
+            "Virtual milliseconds advanced per wall millisecond: $(b,1.0) is real time, \
+             $(b,10) a 10x fast-forward, $(b,0) removes the throttle entirely (as fast as \
+             possible).")
+  in
+  let sample =
+    Arg.(
+      value & opt float 100.0
+      & info [ "sample" ] ~docv:"MS" ~doc:"Telemetry sampling interval in virtual milliseconds.")
+  in
+  let sites =
+    Arg.(value & opt int 16 & info [ "sites" ] ~docv:"N" ~doc:"Number of database sites.")
+  in
+  let items =
+    Arg.(value & opt int 500 & info [ "items" ] ~docv:"N" ~doc:"Database size in data items.")
+  in
+  let max_ops =
+    Arg.(
+      value & opt int 5
+      & info [ "max-ops" ] ~docv:"N" ~doc:"Maximum operations per transaction.")
+  in
+  let write_prob =
+    Arg.(
+      value & opt float 0.5
+      & info [ "write-prob" ] ~docv:"P" ~doc:"Probability that an operation is a write.")
+  in
+  let duration =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Stop after this much wall-clock time (default: run until SIGINT).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.") in
+  let replication_factor =
+    Arg.(
+      value & opt int 0
+      & info [ "replication-factor" ] ~docv:"K"
+          ~doc:"Copies per item (k-holder placement); 0 keeps full replication.")
+  in
+  let sharding =
+    Arg.(
+      value & opt string "hash"
+      & info [ "sharding" ] ~docv:"KIND"
+          ~doc:"Placement for $(b,--replication-factor): $(b,hash), $(b,range) or $(b,modular).")
+  in
+  let zipf_theta =
+    Arg.(
+      value & opt (some float) None
+      & info [ "zipf-theta" ] ~docv:"THETA"
+          ~doc:"Zipfian item skew in (0,1); omitted: uniform item draw.")
+  in
+  let run port accel sample sites items max_ops write_prob duration seed replication_factor
+      sharding zipf_theta =
+    if sample <= 0.0 then begin
+      prerr_endline "raid serve: --sample must be positive";
+      exit 2
+    end;
+    let replication =
+      if replication_factor = 0 then Raid_core.Config.Full
+      else
+        match Raid_core.Placement.sharding_of_string sharding with
+        | Error message ->
+          Printf.eprintf "raid serve: %s\n" message;
+          exit 2
+        | Ok sharding ->
+          Raid_core.Config.Partial
+            (Raid_core.Placement.spec ~sharding ~factor:replication_factor ())
+    in
+    let config =
+      Raid_sim.Soak.make_config ~sites ~items ~max_ops ~write_prob ~replication ?zipf_theta
+        ~accel ~sample:(Raid_net.Vtime.of_ms_f sample) ~seed ~port ?duration_s:duration ()
+    in
+    let soak = Raid_sim.Soak.create config in
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Raid_sim.Soak.stop soak));
+    Printf.printf "raid serve: http://127.0.0.1:%d (%d sites, accel %s%s); ctrl-C drains\n%!"
+      (Raid_sim.Soak.port soak) sites
+      (if accel <= 0.0 then "off" else Printf.sprintf "%gx" accel)
+      (match duration with
+      | None -> ""
+      | Some d -> Printf.sprintf ", duration %gs" d);
+    let s = Raid_sim.Soak.run soak in
+    Printf.printf
+      "raid serve: %d txns (%d committed, %d aborted), %.0f virtual ms in %.1f wall s, %d \
+       engine events, %d http requests\n"
+      s.Raid_sim.Soak.submitted s.Raid_sim.Soak.committed s.Raid_sim.Soak.aborted
+      s.Raid_sim.Soak.virtual_ms s.Raid_sim.Soak.wall_s s.Raid_sim.Soak.events
+      s.Raid_sim.Soak.requests
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a long-lived soak — virtual time paced against the wall clock — while an HTTP \
+          API on 127.0.0.1 exposes the cluster live: /health, /metrics (Prometheus), /sites, \
+          /txns, POST /sites/ID/fail|recover, POST /load.")
+    Term.(
+      const run $ port $ accel $ sample $ sites $ items $ max_ops $ write_prob $ duration
+      $ seed $ replication_factor $ sharding $ zipf_theta)
+
 (* `raid repl` *)
 let repl_cmd =
   let sites = Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.") in
@@ -607,7 +751,7 @@ let main_cmd =
     "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
   in
   Cmd.group
-    (Cmd.info "raid" ~version:"1.3.0" ~doc)
+    (Cmd.info "raid" ~version:Raid_obs.Build_info.version ~doc)
     [
       exp_cmd;
       ablations_cmd;
@@ -617,6 +761,7 @@ let main_cmd =
       metrics_cmd;
       throughput_cmd;
       concurrency_cmd;
+      serve_cmd;
       repl_cmd;
     ]
 

@@ -309,6 +309,38 @@ let faillock_counts t =
 
 let total_faillocks t = Array.fold_left ( + ) 0 (faillock_counts t)
 
+type site_status = {
+  st_id : int;
+  st_alive : bool;
+  st_waiting : bool;
+  st_faillocks : int;
+  st_table_bits : int;
+  st_pending_2pc : int;
+  st_buffered_prepares : int;
+  st_session_up : int;
+}
+
+let site_status_of t i ~faillocks =
+  let s = t.sites.(i) in
+  {
+    st_id = i;
+    st_alive = alive t i;
+    st_waiting = Site.is_waiting s;
+    st_faillocks = faillocks;
+    st_table_bits = Faillock.total_locked (Site.faillocks s);
+    st_pending_2pc = Site.pending_2pc s;
+    st_buffered_prepares = Site.buffered_prepares s;
+    st_session_up = Session.up_count (Site.vector s);
+  }
+
+let site_status t i =
+  if i < 0 || i >= Array.length t.sites then invalid_arg "Cluster.site_status: bad site id";
+  site_status_of t i ~faillocks:(faillock_count_for t i)
+
+let status t =
+  let counts = faillock_counts t in
+  Array.init (num_sites t) (fun i -> site_status_of t i ~faillocks:counts.(i))
+
 let reference_version t item =
   List.fold_left
     (fun acc s ->

@@ -137,6 +137,28 @@ val faillock_counts : t -> int array
 val total_faillocks : t -> int
 (** Set bits in the union view, over all items and sites. *)
 
+type site_status = {
+  st_id : int;
+  st_alive : bool;
+  st_waiting : bool;  (** down-then-recovered but still blocked on a donor *)
+  st_faillocks : int;  (** items fail-locked {e for} this site, union view *)
+  st_table_bits : int;  (** set bits in this site's own fail-lock table *)
+  st_pending_2pc : int;  (** outstanding 2PC acks across its coordinated txns *)
+  st_buffered_prepares : int;  (** participant write sets awaiting a decision *)
+  st_session_up : int;  (** sites this site believes operational *)
+}
+(** One site's externally visible state — what a task-manager-style
+    introspection API (the [raid serve] [/sites] endpoint) reports.
+    Every field is read-only derived state; computing a status never
+    perturbs the run. *)
+
+val site_status : t -> int -> site_status
+(** @raise Invalid_argument on a bad site id. *)
+
+val status : t -> site_status array
+(** {!site_status} for every site, with the fail-lock oracle swept once
+    ({!faillock_counts}) instead of per site. *)
+
 val reference_version : t -> int -> int option
 (** Highest version of an item among alive sites storing it ([None] when
     no alive site stores it). *)

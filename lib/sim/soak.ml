@@ -1,0 +1,457 @@
+module Cluster = Raid_core.Cluster
+module Config = Raid_core.Config
+module Workload = Raid_core.Workload
+module Message = Raid_core.Message
+module Site = Raid_core.Site
+module Engine = Raid_net.Engine
+module Vtime = Raid_net.Vtime
+module Telemetry = Raid_obs.Telemetry
+module Prom = Raid_obs.Prom
+module Http = Raid_obs.Http
+module Json = Raid_obs.Json
+module Rng = Raid_util.Rng
+
+type config = {
+  sites : int;
+  items : int;
+  max_ops : int;
+  write_prob : float;
+  replication : Config.replication;
+  zipf_theta : float option;
+  accel : float;
+  sample : Vtime.t;
+  seed : int;
+  port : int;
+  duration_s : float option;
+}
+
+let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
+    ?(replication = Config.Full) ?zipf_theta ?(accel = 1.0) ?(sample = Vtime.of_ms 100)
+    ?(seed = 42) ?(port = 0) ?duration_s () =
+  if sites <= 0 then invalid_arg "Soak: sites must be positive";
+  if items <= 0 then invalid_arg "Soak: items must be positive";
+  if accel < 0.0 then invalid_arg "Soak: accel must be non-negative";
+  (match duration_s with
+  | Some d when d <= 0.0 -> invalid_arg "Soak: duration must be positive"
+  | _ -> ());
+  { sites; items; max_ops; write_prob; replication; zipf_theta; accel; sample; seed; port;
+    duration_s }
+
+type t = {
+  cfg : config;
+  cluster : Cluster.t;
+  reg : Telemetry.t;
+  server : Http.server;
+  rng : Rng.t;
+  started : float;  (** wall clock at {!create} *)
+  mutable workload : Workload.t;
+  (* live-adjustable workload shape (POST /load) *)
+  mutable max_ops : int;
+  mutable write_prob : float;
+  mutable zipf_theta : float option;
+  mutable rate_cap : float option;  (** max submissions per wall second *)
+  mutable operational : int list;  (** cached coordinator candidates *)
+  mutable submitted : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable stopping : bool;
+  mutable shut : bool;
+  (* events/sec over a sliding wall-clock window, surfaced as a gauge *)
+  mutable eps : float;
+  mutable eps_wall : float;
+  mutable eps_events : int;
+}
+
+let wall t = Unix.gettimeofday () -. t.started
+let engine t = Cluster.engine t.cluster
+let now_ms t = Vtime.to_ms (Engine.now (engine t))
+
+let events t =
+  let c = Engine.counters (engine t) in
+  c.Engine.delivered + c.Engine.timer_fired
+
+let refresh_operational t =
+  t.operational <-
+    List.filter
+      (fun s -> not (Site.is_waiting (Cluster.site t.cluster s)))
+      (Cluster.alive_sites t.cluster)
+
+let rebuild_workload t =
+  let spec =
+    match t.zipf_theta with
+    | None -> Workload.Uniform { max_ops = t.max_ops; write_prob = t.write_prob }
+    | Some theta -> Workload.Zipfian { max_ops = t.max_ops; write_prob = t.write_prob; theta }
+  in
+  t.workload <- Workload.create spec ~num_items:t.cfg.items ~rng:(Rng.split t.rng)
+
+(* {2 Endpoint bodies} *)
+
+let json_of_status (s : Cluster.site_status) =
+  Json.Obj
+    [
+      ("site", Json.Int s.Cluster.st_id);
+      ("alive", Json.Bool s.Cluster.st_alive);
+      ("waiting", Json.Bool s.Cluster.st_waiting);
+      ("faillocks", Json.Int s.Cluster.st_faillocks);
+      ("table_bits", Json.Int s.Cluster.st_table_bits);
+      ("pending_2pc", Json.Int s.Cluster.st_pending_2pc);
+      ("buffered_prepares", Json.Int s.Cluster.st_buffered_prepares);
+      ("session_up", Json.Int s.Cluster.st_session_up);
+    ]
+
+let sites_body t =
+  let statuses = Cluster.status t.cluster in
+  Json.Obj
+    [
+      ("virtual_ms", Json.Float (now_ms t));
+      ("alive", Json.Int (List.length (Cluster.alive_sites t.cluster)));
+      ("total_faillocks", Json.Int (Cluster.total_faillocks t.cluster));
+      ("sites", Json.Arr (Array.to_list (Array.map json_of_status statuses)));
+    ]
+
+let latency_summary t ~outcome =
+  match Telemetry.find t.reg "raid_txn_latency_ms" ~labels:[ ("outcome", outcome) ] with
+  | None -> Json.Null
+  | Some v ->
+    let count = int_of_float v.Telemetry.v_value in
+    Json.Obj
+      [
+        ("count", Json.Int count);
+        ("sum_ms", Json.Float v.Telemetry.v_sum);
+        ( "mean_ms",
+          if count = 0 then Json.Null
+          else Json.Float (v.Telemetry.v_sum /. float_of_int count) );
+        ( "buckets",
+          Json.Arr
+            (List.map
+               (fun (le, cumulative) ->
+                 Json.Obj
+                   [
+                     ("le", Json.Str (Telemetry.float_repr le));
+                     ("count", Json.Int cumulative);
+                   ])
+               v.Telemetry.v_buckets) );
+      ]
+
+let txns_body t =
+  let total = t.committed + t.aborted in
+  Json.Obj
+    [
+      ("submitted", Json.Int t.submitted);
+      ("committed", Json.Int t.committed);
+      ("aborted", Json.Int t.aborted);
+      ( "abort_rate",
+        Json.Float (if total = 0 then 0.0 else float_of_int t.aborted /. float_of_int total) );
+      ("virtual_ms", Json.Float (now_ms t));
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("commit", latency_summary t ~outcome:"commit");
+            ("abort", latency_summary t ~outcome:"abort");
+          ] );
+    ]
+
+let health_body t =
+  Json.Obj
+    [
+      ("status", Json.Str (if t.stopping then "draining" else "ok"));
+      ("uptime_s", Json.Float (wall t));
+      ("virtual_ms", Json.Float (now_ms t));
+      ("submitted", Json.Int t.submitted);
+      ("accel", Json.Float t.cfg.accel);
+    ]
+
+let site_id_of ~params t =
+  match int_of_string_opt (List.assoc "id" params) with
+  | Some id when id >= 0 && id < Cluster.num_sites t.cluster -> Ok id
+  | _ -> Error (Http.error 404 (Printf.sprintf "no such site %S" (List.assoc "id" params)))
+
+let fail_action t ~params _req =
+  match site_id_of ~params t with
+  | Error resp -> resp
+  | Ok id ->
+    if not (Cluster.alive t.cluster id) then
+      Http.error 409 (Printf.sprintf "site %d is already down" id)
+    else if t.operational = [ id ] then
+      Http.error 409 "refusing to fail the last operational site"
+    else begin
+      Cluster.fail_site t.cluster id;
+      refresh_operational t;
+      Http.json
+        (Json.Obj
+           [ ("site", Json.Int id); ("alive", Json.Bool false); ("action", Json.Str "fail") ])
+    end
+
+let recover_action t ~params _req =
+  match site_id_of ~params t with
+  | Error resp -> resp
+  | Ok id ->
+    let report status =
+      refresh_operational t;
+      Http.json
+        (Json.Obj
+           [
+             ("site", Json.Int id);
+             ("alive", Json.Bool (Cluster.alive t.cluster id));
+             ("action", Json.Str "recover");
+             ("result", Json.Str status);
+           ])
+    in
+    if Cluster.alive t.cluster id then
+      if Site.is_waiting (Cluster.site t.cluster id) then begin
+        (* A blocked recovery (no operational donor at the time) retries
+           through the same control-1 path. *)
+        Engine.inject (engine t) ~dst:id Message.Recover_command;
+        Cluster.run_to_quiescence t.cluster;
+        report (if Site.is_waiting (Cluster.site t.cluster id) then "blocked" else "recovered")
+      end
+      else Http.error 409 (Printf.sprintf "site %d is already up" id)
+    else
+      match Cluster.recover_site t.cluster id with
+      | `Recovered -> report "recovered"
+      | `Blocked -> report "blocked"
+
+let load_action t ~params:_ (req : Http.request) =
+  match Json.parse (if String.trim req.Http.body = "" then "{}" else req.Http.body) with
+  | Error message -> Http.error 400 message
+  | Ok body ->
+    let number key =
+      match Json.member key body with
+      | None -> Ok None
+      | Some (Json.Int n) -> Ok (Some (float_of_int n))
+      | Some (Json.Float f) -> Ok (Some f)
+      | Some Json.Null -> Ok (Some Float.nan)  (* explicit reset marker *)
+      | Some _ -> Error (Printf.sprintf "field %S must be a number or null" key)
+    in
+    let ( let* ) r k = match r with Error m -> Http.error 400 m | Ok v -> k v in
+    let* max_ops = number "max_ops" in
+    let* write_prob = number "write_prob" in
+    let* zipf_theta = number "zipf_theta" in
+    let* rate = number "rate" in
+    let invalid m = Http.error 400 m in
+    let apply () =
+      match max_ops with
+      | Some m when Float.is_nan m || m < 1.0 -> invalid "max_ops must be >= 1"
+      | _ -> (
+        match write_prob with
+        | Some p when Float.is_nan p || p < 0.0 || p > 1.0 ->
+          invalid "write_prob must be in [0,1]"
+        | _ -> (
+          match zipf_theta with
+          | Some theta when (not (Float.is_nan theta)) && (theta <= 0.0 || theta >= 1.0) ->
+            invalid "zipf_theta must be in (0,1), or null for uniform"
+          | _ -> (
+            match rate with
+            | Some r when (not (Float.is_nan r)) && r < 0.0 -> invalid "rate must be >= 0"
+            | _ ->
+              (match max_ops with Some m -> t.max_ops <- int_of_float m | None -> ());
+              (match write_prob with Some p -> t.write_prob <- p | None -> ());
+              (match zipf_theta with
+              | Some theta ->
+                t.zipf_theta <- (if Float.is_nan theta then None else Some theta)
+              | None -> ());
+              (match rate with
+              | Some r -> t.rate_cap <- (if Float.is_nan r || r = 0.0 then None else Some r)
+              | None -> ());
+              rebuild_workload t;
+              Http.json
+                (Json.Obj
+                   [
+                     ("max_ops", Json.Int t.max_ops);
+                     ("write_prob", Json.Float t.write_prob);
+                     ( "zipf_theta",
+                       match t.zipf_theta with
+                       | None -> Json.Null
+                       | Some theta -> Json.Float theta );
+                     ( "rate",
+                       match t.rate_cap with None -> Json.Null | Some r -> Json.Float r );
+                   ]))))
+    in
+    apply ()
+
+let index_body =
+  String.concat "\n"
+    [
+      "raid serve: live cluster introspection";
+      "";
+      "GET  /health            liveness and stream counters";
+      "GET  /metrics           Prometheus text exposition";
+      "GET  /sites             per-site status (JSON)";
+      "GET  /txns              stream counters + latency histograms (JSON)";
+      "POST /sites/:id/fail    crash a site";
+      "POST /sites/:id/recover bring a site back";
+      "POST /load              adjust workload: max_ops, write_prob, zipf_theta, rate";
+      "";
+    ]
+
+let routes t_ref =
+  let with_t f ~params req =
+    match !t_ref with
+    | None -> Http.error 503 "server warming up"
+    | Some t -> f t ~params req
+  in
+  [
+    Http.route ~meth:"GET" "/" (fun ~params:_ _ -> Http.text index_body);
+    Http.route ~meth:"GET" "/health" (with_t (fun t ~params:_ _ -> Http.json (health_body t)));
+    Http.route ~meth:"GET" "/metrics"
+      (with_t (fun t ~params:_ _ -> Http.prom (Prom.render t.reg)));
+    Http.route ~meth:"GET" "/sites" (with_t (fun t ~params:_ _ -> Http.json (sites_body t)));
+    Http.route ~meth:"GET" "/txns" (with_t (fun t ~params:_ _ -> Http.json (txns_body t)));
+    Http.route ~meth:"POST" "/sites/:id/fail" (with_t fail_action);
+    Http.route ~meth:"POST" "/sites/:id/recover" (with_t recover_action);
+    Http.route ~meth:"POST" "/load" (with_t load_action);
+  ]
+
+let create cfg =
+  let reg = Telemetry.create ~interval:cfg.sample () in
+  let ccfg =
+    Config.make ~replication:cfg.replication ~num_sites:cfg.sites ~num_items:cfg.items ()
+  in
+  let cluster = Cluster.create ~settings:(Cluster.settings ~telemetry:reg ()) ccfg in
+  let t_ref = ref None in
+  let router = Http.dispatch (routes t_ref) in
+  let server = Http.serve ~port:cfg.port router in
+  let rng = Rng.create cfg.seed in
+  let t =
+    {
+      cfg;
+      cluster;
+      reg;
+      server;
+      rng;
+      started = Unix.gettimeofday ();
+      workload =
+        Workload.create
+          (Workload.Uniform { max_ops = cfg.max_ops; write_prob = cfg.write_prob })
+          ~num_items:cfg.items ~rng:(Rng.create cfg.seed);
+      max_ops = cfg.max_ops;
+      write_prob = cfg.write_prob;
+      zipf_theta = cfg.zipf_theta;
+      rate_cap = None;
+      operational = [];
+      submitted = 0;
+      committed = 0;
+      aborted = 0;
+      stopping = false;
+      shut = false;
+      eps = 0.0;
+      eps_wall = 0.0;
+      eps_events = 0;
+    }
+  in
+  refresh_operational t;
+  rebuild_workload t;
+  (* Process-level gauges: wall-clock facts about this soak, next to the
+     virtual-time cluster metrics in the same exposition. *)
+  Telemetry.gauge reg "raid_process_uptime_seconds"
+    ~help:"Wall-clock seconds since the soak started" (fun () -> wall t);
+  Telemetry.gauge reg "raid_process_events_per_sec"
+    ~help:"Engine events per wall-clock second, over a recent window" (fun () -> t.eps);
+  Telemetry.polled_counter reg "raid_process_requests_total"
+    ~help:"HTTP requests answered by the introspection API" (fun () ->
+      float_of_int (Http.requests_served server));
+  Raid_obs.Build_info.register reg;
+  t_ref := Some t;
+  t
+
+let port t = Http.port t.server
+let cluster t = t.cluster
+let registry t = t.reg
+let stop t = t.stopping <- true
+let finished t = t.stopping || t.shut
+
+let rate_allows t =
+  match t.rate_cap with
+  | None -> true
+  | Some rate -> float_of_int t.submitted < (rate *. wall t) +. 1.0
+
+let submit_one t =
+  match t.operational with
+  | [] -> false  (* operator failed everything failable; idle until recover *)
+  | candidates ->
+    let coordinator = Rng.choose t.rng candidates in
+    let id = Cluster.next_txn_id t.cluster in
+    let outcome = Cluster.submit t.cluster ~coordinator (Workload.next t.workload ~id) in
+    t.submitted <- t.submitted + 1;
+    if outcome.Raid_core.Metrics.committed then t.committed <- t.committed + 1
+    else t.aborted <- t.aborted + 1;
+    true
+
+(* Cap the admission burst per tick so the HTTP server stays responsive
+   even when the virtual clock is far behind the pacing target (or the
+   throttle is off entirely). *)
+let max_batch = 64
+
+let tick ?(timeout = 0.02) t =
+  if not (finished t) then begin
+    (match t.cfg.duration_s with
+    | Some d when wall t >= d -> t.stopping <- true
+    | _ -> ());
+    if not t.stopping then begin
+      let target_vms =
+        if t.cfg.accel <= 0.0 then Float.infinity else t.cfg.accel *. wall t *. 1000.0
+      in
+      let budget = ref max_batch in
+      let progress = ref true in
+      while
+        !progress && !budget > 0 && now_ms t < target_vms && rate_allows t
+        && not t.stopping
+      do
+        progress := submit_one t;
+        decr budget
+      done;
+      (* Refresh the events/sec window gauge about twice a second. *)
+      let w = wall t in
+      if w -. t.eps_wall >= 0.5 then begin
+        let e = events t in
+        t.eps <- float_of_int (e - t.eps_events) /. (w -. t.eps_wall);
+        t.eps_wall <- w;
+        t.eps_events <- e
+      end;
+      (* Behind the pacing target with budget exhausted: come back
+         immediately; otherwise sleep in the server's select. *)
+      let timeout =
+        if !budget = 0 && now_ms t < target_vms && rate_allows t then 0.0 else timeout
+      in
+      ignore (Http.poll ~timeout t.server)
+    end
+  end
+
+type summary = {
+  submitted : int;
+  committed : int;
+  aborted : int;
+  virtual_ms : float;
+  wall_s : float;
+  events : int;
+  requests : int;
+}
+
+let summary (t : t) =
+  {
+    submitted = t.submitted;
+    committed = t.committed;
+    aborted = t.aborted;
+    virtual_ms = now_ms t;
+    wall_s = wall t;
+    events = events t;
+    requests = Http.requests_served t.server;
+  }
+
+let shutdown t =
+  if not t.shut then begin
+    t.stopping <- true;
+    Cluster.run_to_quiescence t.cluster;
+    Telemetry.sample_now t.reg ~at:(Engine.now (engine t));
+    (* Answer anything already buffered, then stop listening. *)
+    ignore (Http.poll ~timeout:0.0 t.server);
+    Http.close_server t.server;
+    t.shut <- true
+  end;
+  summary t
+
+let run t =
+  while not (finished t) do
+    tick t
+  done;
+  shutdown t

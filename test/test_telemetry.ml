@@ -134,6 +134,34 @@ let test_exports_sorted_and_escaped () =
      in
      contains 0)
 
+(* Hostile label values: the 0.0.4 exposition format escapes backslash,
+   double quote and newline inside quoted label values — nothing else.
+   A scraper must be able to round-trip these bytes. *)
+let test_label_value_escaping () =
+  let t = Telemetry.create () in
+  ignore
+    (Telemetry.counter t "hostile_total"
+       ~labels:[ ("path", "C:\\dir\\\"quoted\"\nnext") ]);
+  ignore (Telemetry.counter t "tame_total" ~labels:[ ("k", "{a=\"b\",c}") ]);
+  let prom = Prom.render t in
+  let contains needle =
+    let rec go i =
+      i + String.length needle <= String.length prom
+      && (String.sub prom i (String.length needle) = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "backslash, quote and newline escaped" true
+    (contains {|hostile_total{path="C:\\dir\\\"quoted\"\nnext"} 0|});
+  Alcotest.(check bool) "braces and inner = pass through unescaped" true
+    (contains {|tame_total{k="{a=\"b\",c}"} 0|});
+  (* If the newline leaked through raw, the sample would split into two
+     physical lines, the second starting with the bytes after it. *)
+  String.split_on_char '\n' prom
+  |> List.iter (fun line ->
+         Alcotest.(check bool) "sample stays one physical line" false
+           (String.length line >= 4 && String.sub line 0 4 = "next"))
+
 (* {2 End-to-end: the raid metrics pipeline} *)
 
 let monitor_output =
@@ -262,6 +290,7 @@ let suite =
     Alcotest.test_case "counter and histogram values" `Quick test_counter_and_histogram_values;
     Alcotest.test_case "sampling grid" `Quick test_sampling_grid;
     Alcotest.test_case "exports sorted and escaped" `Quick test_exports_sorted_and_escaped;
+    Alcotest.test_case "hostile label values escaped" `Quick test_label_value_escaping;
     Alcotest.test_case "monitor deterministic" `Quick test_monitor_deterministic;
     Alcotest.test_case "counters match result" `Quick test_monitor_counters_match_result;
     Alcotest.test_case "telemetry is transparent" `Quick test_telemetry_is_transparent;
