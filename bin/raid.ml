@@ -732,6 +732,107 @@ let serve_cmd =
       $ seed $ replication_factor $ sharding $ zipf_theta)
 
 (* `raid repl` *)
+(* `raid crashmatrix` — the systematic crash-injection matrix: kill a
+   site at every distinct boundary of the 2PC/copier/fail-lock state
+   machine, replay its WAL, resolve its in-doubt transactions and assert
+   the DESIGN.md invariants (see Raid_sim.Crashmatrix). *)
+let crashmatrix_cmd =
+  let module Crashmatrix = Raid_sim.Crashmatrix in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the crash-point taxonomy (one per line with a description) and exit.")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Reduced grid for CI: one seed, one cluster size, every crash point and both \
+             placements.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Emit the per-cell matrix as CSV on stdout instead of a table.")
+  in
+  let comma_ints =
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | part :: rest -> (
+          match int_of_string_opt (String.trim part) with
+          | Some n -> go (n :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "%S is not an integer" part)))
+      in
+      go [] parts
+    in
+    let print ppf ns =
+      Format.pp_print_string ppf (String.concat "," (List.map string_of_int ns))
+    in
+    Arg.conv (parse, print)
+  in
+  let seeds =
+    Arg.(
+      value & opt (some comma_ints) None
+      & info [ "seeds" ] ~docv:"S1,S2,.." ~doc:"Seeds to run each cell at (default 1,2,3).")
+  in
+  let sizes =
+    Arg.(
+      value & opt (some comma_ints) None
+      & info [ "sizes" ] ~docv:"N1,N2,.." ~doc:"Cluster sizes to run (default 4,6).")
+  in
+  let points =
+    Arg.(
+      value & opt (some string) None
+      & info [ "points" ] ~docv:"P1,P2,.."
+          ~doc:"Comma-separated crash-point names to run (default: all; see $(b,--list)).")
+  in
+  let run list smoke csv seeds sizes points jobs =
+    set_jobs jobs;
+    if list then
+      List.iter
+        (fun point ->
+          Printf.printf "%-24s %s\n"
+            (Crashmatrix.point_name point)
+            (Crashmatrix.point_description point))
+        Crashmatrix.all_points
+    else begin
+      let points =
+        match points with
+        | None -> Crashmatrix.all_points
+        | Some names ->
+          List.map
+            (fun name ->
+              match Crashmatrix.point_of_name (String.trim name) with
+              | Some p -> p
+              | None ->
+                Printf.eprintf "raid crashmatrix: unknown crash point %S (see --list)\n" name;
+                exit 2)
+            (String.split_on_char ',' names)
+      in
+      let seeds = match seeds with Some s -> s | None -> if smoke then [ 1 ] else [ 1; 2; 3 ] in
+      let sizes = match sizes with Some s -> s | None -> if smoke then [ 4 ] else [ 4; 6 ] in
+      let summary = Crashmatrix.run ~seeds ~sizes ~points () in
+      if csv then print_string (Crashmatrix.to_csv summary)
+      else begin
+        Table.print (Crashmatrix.table summary);
+        Printf.printf "%d cells, %d failed\n" summary.Crashmatrix.cells
+          summary.Crashmatrix.failed_cells
+      end;
+      if not (Crashmatrix.ok summary) then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "crashmatrix"
+       ~doc:
+         "Crash a site at every distinct point of the 2PC/copier/fail-lock state machine, \
+          replay its WAL, resolve in-doubt transactions and assert the protocol invariants; \
+          non-zero exit on any violation.")
+    Term.(const run $ list $ smoke $ csv $ seeds $ sizes $ points $ jobs)
+
 let repl_cmd =
   let sites = Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.") in
   let items = Arg.(value & opt int 50 & info [ "items" ] ~docv:"N" ~doc:"Data items.") in
@@ -762,6 +863,7 @@ let main_cmd =
       throughput_cmd;
       concurrency_cmd;
       serve_cmd;
+      crashmatrix_cmd;
       repl_cmd;
     ]
 

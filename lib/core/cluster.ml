@@ -1,7 +1,12 @@
 module Engine = Raid_net.Engine
 module Database = Raid_storage.Database
+module Wal = Raid_storage.Wal
 module Vtime = Raid_net.Vtime
 module Telemetry = Raid_obs.Telemetry
+
+let log_src = Logs.Src.create "raid.cluster" ~doc:"RAID managing site"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
 
 type detection = Immediate | On_timeout
 
@@ -29,6 +34,13 @@ type t = {
   committed_versions : int array;
   mutable outcome_hook : (Metrics.outcome -> unit) option;
   mutable telemetry_observe : (Metrics.outcome -> unit) option;
+  knowledge_lost : (int * int, unit) Hashtbl.t;
+      (* (item, target): staleness facts whose last alive fail-lock
+         witness crashed (the DESIGN.md §11 gap), recorded at the crash
+         that removed the witness.  Append-only for the cluster's
+         lifetime: the set documents that the hazard arose, not that it
+         is still open. *)
+  mutable knowledge_loss_events : int;
 }
 
 (* Wire a telemetry registry into every layer of this cluster: polled
@@ -93,6 +105,10 @@ let attach_telemetry t registry =
   Telemetry.polled_counter registry "raid_engine_undeliverable_total"
     ~help:"Arrivals at a dead site or severed link" (fun () ->
       float_of_int (Engine.counters engine).Engine.undeliverable);
+  Telemetry.polled_counter registry "raid_knowledge_loss_total"
+    ~help:
+      "Staleness facts (item, site) whose last alive fail-lock witness crashed (DESIGN.md section 11 gap)"
+    (fun () -> float_of_int t.knowledge_loss_events);
   (* Per-site gauges: the quantities the paper's figures track, sampled
      over virtual time instead of per transaction. *)
   Array.iter
@@ -200,6 +216,8 @@ let create ?(settings = default_settings) config =
       committed_versions = Array.make config.Config.num_items 0;
       outcome_hook = None;
       telemetry_observe = None;
+      knowledge_lost = Hashtbl.create 8;
+      knowledge_loss_events = 0;
     }
   in
   cluster_ref := Some t;
@@ -222,10 +240,74 @@ let alive_sites t =
 
 let run_to_quiescence t = Engine.run t.engine
 
-let fail_site t i =
+(* DESIGN.md §11: when a site dies, any (item, target) staleness fact
+   recorded only in its fail-lock table vanishes from the union view the
+   survivors can reconstruct — a later control-1 can then ship [target] a
+   table without the bit and its stale copy will serve reads as current.
+   Detect the condition at the instant it arises (the crash that removes
+   the last witness), count it, and warn loudly.
+   [Invariant.faillocks_track_staleness] tolerates recorded pairs so the
+   crash matrix can tell this known paper-level gap apart from a protocol
+   regression.  A dead target's staleness is judged against what its
+   stable storage would restore, not its wiped volatile database. *)
+let detect_knowledge_loss t ~dying =
+  let dying_fl = Site.faillocks t.sites.(dying) in
+  let survivors = alive_sites t in
+  let replayed = Hashtbl.create 4 in
+  let restored_version target item =
+    let s = t.sites.(target) in
+    match Site.wal s with
+    | Some wal when not (alive t target) ->
+      let db =
+        match Hashtbl.find_opt replayed target with
+        | Some db -> db
+        | None ->
+          let db = Database.create ~num_items:t.config.Config.num_items in
+          ignore (Wal.replay_into wal db);
+          Hashtbl.replace replayed target db;
+          db
+      in
+      Database.version db item
+    | _ -> Database.version (Site.database s) item
+  in
+  for item = 0 to t.config.Config.num_items - 1 do
+    List.iter
+      (fun target ->
+        let visible_elsewhere =
+          List.exists
+            (fun s -> Faillock.is_locked (Site.faillocks t.sites.(s)) ~item ~site:target)
+            survivors
+        in
+        if not visible_elsewhere then begin
+          let committed = t.committed_versions.(item) in
+          let behind =
+            match restored_version target item with
+            | Some v -> v < committed
+            | None -> committed > 0
+          in
+          if behind && not (Hashtbl.mem t.knowledge_lost (item, target)) then begin
+            Hashtbl.replace t.knowledge_lost (item, target) ();
+            t.knowledge_loss_events <- t.knowledge_loss_events + 1;
+            Log.warn (fun m ->
+                m
+                  "knowledge loss: site %d was the last alive witness that site %d's copy of \
+                   item %d is stale (behind v%d)"
+                  dying target item committed)
+          end
+        end)
+      (Faillock.locked_sites dying_fl ~item)
+  done
+
+let crash_site_now t i =
   if alive t i then begin
     Engine.set_alive t.engine i false;
-    Site.on_crash (site t i);
+    Site.on_crash ~now:(Engine.now t.engine) (site t i);
+    detect_knowledge_loss t ~dying:i
+  end
+
+let fail_site t i =
+  if alive t i then begin
+    crash_site_now t i;
     (match t.detection with
     | On_timeout -> ()
     | Immediate -> begin
@@ -241,9 +323,11 @@ let terminate_site t i =
   if alive t i then begin
     Engine.inject t.engine ~dst:i Message.Terminate_command;
     run_to_quiescence t;
-    Engine.set_alive t.engine i false;
-    Site.on_crash (site t i)
+    crash_site_now t i
   end
+
+let knowledge_lost t ~item ~site = Hashtbl.mem t.knowledge_lost (item, site)
+let knowledge_loss_events t = t.knowledge_loss_events
 
 let recover_site t i =
   if alive t i then invalid_arg "Cluster.recover_site: site is already up";
@@ -273,6 +357,40 @@ let submit t ~coordinator txn =
   | None -> failwith "Cluster.submit: transaction produced no outcome (protocol bug)"
 
 let outcomes t = List.rev t.outcomes_rev
+
+(* A coordinator that durably decided commit and then crashed reports no
+   outcome: its Commit messages are in flight and the writes land
+   everywhere, but the oracle ([committed_version],
+   [Invariant.no_stale_reads]) stays blind to the transaction.  The
+   crash matrix records such ghost commits here once it has proved —
+   from a survivor's update log or the coordinator's durable decision
+   record — that the decision really was commit.  Must be called before
+   any later transaction is injected, so the outcome list keeps
+   submission order. *)
+let note_ghost_commit t txn =
+  let writes =
+    List.map
+      (fun item -> { Database.item; value = txn.Txn.id; version = txn.Txn.id })
+      (Txn.write_items txn)
+  in
+  let outcome =
+    {
+      Metrics.txn;
+      coordinator = -1;
+      committed = true;
+      abort_reason = None;
+      copier_requests = 0;
+      copier_items = 0;
+      reads = [];
+      writes;
+      elapsed = Vtime.zero;
+    }
+  in
+  t.outcomes_rev <- outcome :: t.outcomes_rev;
+  List.iter
+    (fun { Database.item; version; _ } ->
+      if version > t.committed_versions.(item) then t.committed_versions.(item) <- version)
+    writes
 
 (* {2 Oracle views} *)
 
@@ -355,10 +473,20 @@ let committed_version t item =
   t.committed_versions.(item)
 
 let fully_consistent t =
-  match alive_sites t with
-  | [] -> true
-  | first :: rest ->
-    List.for_all
-      (fun s -> Database.equal (Site.database t.sites.(s)) (Site.database t.sites.(first)))
-      rest
-    && total_faillocks t = 0
+  (* Per item, every alive site storing it agrees — under full
+     replication this degenerates to whole-database equality, and under
+     partial replication it compares only the copies that exist (sites
+     hold disjoint item sets by design, so [Database.equal] would never
+     hold there). *)
+  let alive = alive_sites t in
+  let agree item =
+    match
+      List.filter_map (fun s -> Database.read (Site.database t.sites.(s)) item) alive
+    with
+    | [] -> true
+    | copy :: rest -> List.for_all (( = ) copy) rest
+  in
+  let rec items_agree item =
+    item >= t.config.Config.num_items || (agree item && items_agree (item + 1))
+  in
+  items_agree 0 && total_faillocks t = 0

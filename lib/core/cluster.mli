@@ -78,6 +78,38 @@ val terminate_site : t -> int -> unit
     control transaction 2 or timeouts, and the site then stops.  It
     rejoins later through the normal recovery protocol. *)
 
+val crash_site_now : t -> int -> unit
+(** Crash a site at the engine's current virtual time {e without}
+    notifying survivors or draining the queue — the crash-matrix
+    primitive for killing a site mid-protocol, between two handler
+    events.  Messages already in flight to or from the site stay in the
+    queue ({!Raid_net.Engine} semantics); survivors learn of the death
+    through [Send_failed] bounces or a later [Failure_noticed]
+    injection.  Also sweeps the dying site's fail-lock table for
+    staleness knowledge no surviving site holds (the DESIGN.md §11
+    knowledge-loss gap), counting and logging each lost fact.  No-op if
+    already down. *)
+
+val knowledge_lost : t -> item:int -> site:int -> bool
+(** Whether the staleness fact "[site]'s copy of [item] is behind" was
+    ever lost with its last alive witness (recorded by the crash sweep;
+    never un-recorded).  {!Invariant.faillocks_track_staleness} tolerates
+    recorded pairs. *)
+
+val knowledge_loss_events : t -> int
+(** Total (item, site) staleness facts lost across all crashes so far —
+    also exported as the [raid_knowledge_loss_total] telemetry series. *)
+
+val note_ghost_commit : t -> Txn.t -> unit
+(** Record a committed outcome for a transaction whose coordinator
+    crashed after durably deciding commit but before reporting — the
+    writes land at the surviving participants, and without this the
+    oracle ({!committed_version}, {!Invariant.no_stale_reads}) would
+    treat them as uncommitted.  The caller must first prove the decision
+    was commit (survivor update-log entry or the coordinator's durable
+    decision record), and must call this before injecting any later
+    transaction so the outcome history keeps submission order. *)
+
 val recover_site : t -> int -> [ `Recovered | `Blocked ]
 (** Bring a down site back: control transaction type 1 runs to
     completion.  [`Blocked] when no operational donor exists (the site

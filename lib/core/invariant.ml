@@ -35,8 +35,15 @@ let faillocks_track_staleness cluster =
           let behind = version < reference in
           let locked = locked_for_s.(item) in
           if behind && not locked then
-            fail "site %d item %d is behind (v%d < v%d) but not fail-locked" s item version
-              reference
+            if Cluster.knowledge_lost cluster ~item ~site:s then
+              (* The DESIGN.md §11 gap, detected and warned about when
+                 the last witness crashed: tolerated here so the crash
+                 matrix distinguishes the known paper-level limitation
+                 from a protocol regression. *)
+              check_item (item + 1)
+            else
+              fail "site %d item %d is behind (v%d < v%d) but not fail-locked" s item version
+                reference
           else if locked && not behind then
             fail "site %d item %d is fail-locked but current (v%d)" s item version
           else check_item (item + 1)

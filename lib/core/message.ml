@@ -22,6 +22,8 @@ type t =
   | Failure_announce of { failed : int list }
   | Backup_copy of { target : int; write : Raid_storage.Database.write }
   | Faillock_hint of { for_site : int; items : int list }
+  | Txn_status_request of { txn : int }
+  | Txn_status_reply of { txn : int; committed : bool }
 
 let kind = function
   | Begin_txn _ -> "begin_txn"
@@ -43,12 +45,17 @@ let kind = function
   | Failure_announce _ -> "failure_announce"
   | Backup_copy _ -> "backup_copy"
   | Faillock_hint _ -> "faillock_hint"
+  | Txn_status_request _ -> "txn_status_request"
+  | Txn_status_reply _ -> "txn_status_reply"
 
 (* Kinds pre-registered for aligned telemetry series.  [faillock_hint]
    is deliberately absent: it only flows under partial replication, and
    keeping the full-replication metric set unchanged keeps the exp-1
-   telemetry golden byte-identical.  Unlisted kinds are registered
-   on first use by the engine probe. *)
+   telemetry golden byte-identical.  The in-doubt resolution kinds
+   [txn_status_request]/[txn_status_reply] are absent for the same
+   reason: they only flow when a site recovers with a durably buffered
+   prepare.  Unlisted kinds are registered on first use by the engine
+   probe. *)
 let all_kinds =
   [
     "begin_txn"; "recover_command"; "failure_noticed"; "terminate_command"; "departure_announce";
@@ -88,5 +95,8 @@ let describe = function
     Printf.sprintf "backup_copy(item %d -> site %d)" write.Raid_storage.Database.item target
   | Faillock_hint { for_site; items } ->
     Printf.sprintf "faillock_hint(site %d,%d items)" for_site (List.length items)
+  | Txn_status_request { txn } -> Printf.sprintf "txn_status_request(%d)" txn
+  | Txn_status_reply { txn; committed } ->
+    Printf.sprintf "txn_status_reply(%d,%s)" txn (if committed then "committed" else "aborted")
 
 let pp ppf t = Format.pp_print_string ppf (describe t)

@@ -61,7 +61,20 @@ type t =
   | Faillock_hint of { for_site : int; items : int list }
       (** partial replication, control-1: a holder tells the recovering
           site [for_site] which of its items missed updates — the state
-          donor may not hold (hence not track) them *)
+          donor may not hold (hence not track) them.  Also sent by a
+          coordinator whose [Commit] to a participant bounced: the
+          witness bits it is about to set exist nowhere else, so it
+          broadcasts them — otherwise a state donor other than the
+          coordinator would ship the dead participant a fail-lock table
+          missing its own staleness *)
+  | Txn_status_request of { txn : int }
+      (** in-doubt resolution: a recovering participant with a durably
+          buffered prepare asks the transaction's coordinator for the
+          outcome *)
+  | Txn_status_reply of { txn : int; committed : bool }
+      (** coordinator's answer, from its durable decision record (or
+          live coordinator state); absence of a record means presumed
+          abort *)
 
 val kind : t -> string
 (** Stable snake_case tag of the constructor alone ("prepare",
@@ -70,9 +83,11 @@ val kind : t -> string
 
 val all_kinds : string list
 (** The {!kind} values pre-registered for aligned telemetry series, in
-    constructor order.  ["faillock_hint"] is deliberately absent — it
-    only flows under partial replication, and the full-replication metric
-    set must stay unchanged; instrumentation registers unlisted kinds on
+    constructor order.  ["faillock_hint"] and the in-doubt resolution
+    kinds ["txn_status_request"]/["txn_status_reply"] are deliberately
+    absent — they only flow on rare paths (partial replication,
+    recovery with a buffered prepare), and the common-case metric set
+    must stay unchanged; instrumentation registers unlisted kinds on
     first use. *)
 
 val describe : t -> string

@@ -26,7 +26,14 @@ type phase =
       pending_acks : Bitset.t;
       mutable remaining : int;
     }
-  | Committing of { pending_acks : Bitset.t; mutable remaining : int }
+  | Committing of {
+      pending_acks : Bitset.t;
+      mutable remaining : int;
+      mutable lost : bool;
+          (* a participant died before acknowledging the commit: keep the
+             durable decision record so it can resolve its in-doubt
+             prepare when it recovers *)
+    }
 
 type coord = {
   txn : Txn.t;
@@ -49,6 +56,17 @@ type coord = {
 
 type batch = { round_id : int; pending_sources : Bitset.t; mutable remaining : int }
 
+(* A buffered prepare at a participant: the writes to apply if the
+   decision is commit, the coordinator to ask if this site has to
+   resolve the transaction after a crash, and — during resolution with a
+   dead coordinator — the number of outstanding status probes to other
+   sites (0 when not probing). *)
+type pending_prepare = {
+  pp_writes : Database.write list;
+  pp_coord : int;
+  mutable pp_outstanding : int;
+}
+
 type mode =
   | Normal
   | Waiting_recovery of {
@@ -63,6 +81,11 @@ type mode =
              sites know this site missed, applied after the donor's state
              is installed *)
       started_at : Vtime.t;
+      mutable unresolved : int;
+          (* in-doubt prepares from the previous incarnation still being
+             resolved; the control-1 announcements wait until this hits
+             zero so the donor's state reflects the resolutions *)
+      mutable announced : bool;
     }
 
 type t = {
@@ -77,7 +100,7 @@ type t = {
   log : Update_log.t;
   stable : Wal.t option;  (* simulated stable storage (durability extension) *)
   placement : Placement.View.t;  (* this site's view of who holds what *)
-  pending_prepares : (int, Database.write list) Hashtbl.t;
+  pending_prepares : (int, pending_prepare) Hashtbl.t;
   participant_started : (int, Vtime.t) Hashtbl.t;
   mutable mode : mode;
   coords : (int, coord) Hashtbl.t;  (* in-flight coordinated transactions *)
@@ -100,6 +123,11 @@ let create ~id ~config ~metrics ~on_outcome ?obs () =
   let num_items = config.Config.num_items in
   let num_sites = config.Config.num_sites in
   let stored item = Config.stores config ~site:id ~item in
+  let db =
+    match config.Config.replication with
+    | Config.Full -> Database.create ~num_items
+    | Config.Partial _ -> Database.create_partial ~num_items ~stored
+  in
   let t =
   {
     id;
@@ -108,17 +136,14 @@ let create ~id ~config ~metrics ~on_outcome ?obs () =
     metrics;
     on_outcome;
     vector = Session.create ~num_sites;
-    db =
-      (match config.Config.replication with
-      | Config.Full -> Database.create ~num_items
-      | Config.Partial _ -> Database.create_partial ~num_items ~stored);
+    db;
     faillocks = Faillock.create ~num_items ~num_sites;
     log = Update_log.create ();
     stable =
       (match config.Config.durability with
       | Config.In_memory -> None
       | Config.Durable_wal { checkpoint_interval } ->
-        Some (Wal.create ~checkpoint_interval ~num_items ()));
+        Some (Wal.create ~checkpoint_interval ~initial:db ~num_items ()));
     placement = Placement.View.create (Config.placement config);
     pending_prepares = Hashtbl.create 16;
     participant_started = Hashtbl.create 16;
@@ -182,14 +207,68 @@ let pending_2pc t =
 
 let buffered_prepares t = Hashtbl.length t.pending_prepares
 
-let on_crash t =
+let in_doubt t =
+  match t.stable with
+  | Some wal -> Wal.prepared_count wal
+  | None -> Hashtbl.length t.pending_prepares
+
+let wal t = t.stable
+
+(* Drop an in-doubt prepare everywhere it is recorded (decided,
+   resolved, or presumed aborted). *)
+let forget_in_doubt t ~txn =
+  Hashtbl.remove t.pending_prepares txn;
+  Hashtbl.remove t.participant_started txn;
+  match t.stable with None -> () | Some wal -> Wal.forget_prepare wal ~txn
+
+(* Presumed abort on coordinator death: a coordinator that died before
+   deciding can never send the commit, so every prepare buffered for it
+   is dropped.  This never races a decided commit: per-link delivery is
+   FIFO with uniform latency, so a Commit sent before the coordinator
+   died always arrives before any announcement of that death. *)
+let purge_prepares_from t ~coordinator =
+  if Hashtbl.length t.pending_prepares > 0 then begin
+    let doomed =
+      Hashtbl.fold
+        (fun txn pp acc -> if pp.pp_coord = coordinator then txn :: acc else acc)
+        t.pending_prepares []
+    in
+    List.iter (fun txn -> forget_in_doubt t ~txn) doomed
+  end
+
+let on_crash ?(now = Vtime.zero) t =
+  (* A coordinator past the decide point has durably logged the decision
+     and its Commit messages are already in flight: participants will
+     apply the writes and clear this site's fail-lock bits for them (they
+     believe it up).  Losing the writes here would leave this site behind
+     yet unlocked after recovery, so the crash preserves them — the redo
+     records were logged with the decision. *)
+  Hashtbl.iter
+    (fun _ coord ->
+      match coord.phase with
+      | Committing _ ->
+        List.iter
+          (fun ({ Database.item; _ } as write) ->
+            if stores t ~item then begin
+              Database.apply t.db write;
+              Update_log.append t.log
+                { Update_log.txn = coord.txn.Txn.id; write; applied_at = now };
+              match t.stable with
+              | None -> ()
+              | Some wal -> Wal.append wal { Wal.txn = coord.txn.Txn.id; write }
+            end)
+          coord.writes
+      | Copying _ | Preparing _ -> ())
+    t.coords;
   Hashtbl.reset t.coords;
   t.batch <- None;
   t.mode <- Normal;
   Hashtbl.reset t.pending_prepares;
   Hashtbl.reset t.participant_started;
   (* Under the durability extension the crash also loses the volatile
-     database; only the write-ahead log survives.  Recovery replays it. *)
+     database; only the write-ahead log survives.  Recovery replays it,
+     and the in-doubt prepare and decision records in stable storage
+     survive untouched. *)
   match t.stable with None -> () | Some _ -> Database.wipe t.db
 
 let ms_of = Vtime.to_ms
@@ -241,6 +320,10 @@ let announce_failures t ctx failed =
   let fresh = List.filter (fun s -> s <> t.id && Session.is_up t.vector s) failed in
   if fresh <> [] then begin
     List.iter (Session.mark_down t.vector) fresh;
+    (* While waiting for recovery state the resolution machinery owns the
+       buffered prepares; purging here would strand its bookkeeping. *)
+    if not (is_waiting t) then
+      List.iter (fun s -> purge_prepares_from t ~coordinator:s) fresh;
     iter_others t (fun r -> Engine.send ctx r (Message.Failure_announce { failed = fresh }));
     t.metrics.Metrics.control2_announcements <-
       t.metrics.Metrics.control2_announcements + count_others t;
@@ -523,10 +606,16 @@ let collect_reads t coord =
 
 let local_commit t ctx coord =
   (match coord.phase with
-  | Committing _ ->
+  | Committing c ->
     t.metrics.Metrics.phase_commit_ms <-
       ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
-      :: t.metrics.Metrics.phase_commit_ms
+      :: t.metrics.Metrics.phase_commit_ms;
+    (* The decision record can be retired once every participant applied;
+       if one died before acknowledging, keep it — that participant will
+       ask for the outcome when it recovers. *)
+    (match t.stable with
+    | Some wal when not c.lost -> Wal.forget_decision wal ~txn:coord.txn.Txn.id
+    | Some _ | None -> ())
   | Copying _ | Preparing _ -> ());
   apply_writes t ctx ~txn:coord.txn.Txn.id coord.writes;
   faillock_commit_update ~witness:true t ctx coord.writes;
@@ -837,7 +926,13 @@ let apply_embedded_clears t ~coordinator items =
 
 let handle_prepare t ctx ~txn ~writes ~cleared ~src =
   apply_embedded_clears t ~coordinator:src cleared;
-  Hashtbl.replace t.pending_prepares txn writes;
+  Hashtbl.replace t.pending_prepares txn { pp_writes = writes; pp_coord = src; pp_outstanding = 0 };
+  (* Log the prepare before voting yes: a crash between the vote and the
+     decision must leave enough on stable storage to apply (or resolve)
+     the transaction on recovery. *)
+  (match t.stable with
+  | None -> ()
+  | Some wal -> Wal.log_prepare wal ~txn ~coordinator:src writes);
   Hashtbl.replace t.participant_started txn (Engine.time ctx);
   Engine.work ctx t.cost.Cost_model.prepare_process;
   Engine.send ctx src (Message.Prepare_ack { txn });
@@ -846,8 +941,9 @@ let handle_prepare t ctx ~txn ~writes ~cleared ~src =
 let handle_commit t ctx ~txn ~src =
   match Hashtbl.find_opt t.pending_prepares txn with
   | None -> ()  (* unknown transaction (e.g. prepared before a crash) *)
-  | Some writes ->
+  | Some { pp_writes = writes; _ } ->
     Hashtbl.remove t.pending_prepares txn;
+    (match t.stable with None -> () | Some wal -> Wal.forget_prepare wal ~txn);
     (* Acknowledge before applying: the coordinator does not wait on our
        local commit work (see Cost_model calibration notes). *)
     Engine.send ctx src (Message.Commit_ack { txn });
@@ -875,10 +971,16 @@ let handle_prepare_ack t ctx ~txn ~src =
           t.metrics.Metrics.phase_prepare_ms <-
             ms_of (Vtime.sub (Engine.time ctx) coord.phase_entered_at)
             :: t.metrics.Metrics.phase_prepare_ms;
+          (* The decide point: log the commit decision durably before any
+             Commit message leaves.  A crash from here on must preserve
+             the decision — participants resolve their in-doubt prepares
+             against it. *)
+          (match t.stable with None -> () | Some wal -> Wal.log_decision wal ~txn);
           (* Phase 2 goes to exactly the phase-1 participants; the
              participant bitset becomes the commit-ack pending set. *)
           coord.phase <-
-            Committing { pending_acks = p.participants; remaining = p.participant_count };
+            Committing
+              { pending_acks = p.participants; remaining = p.participant_count; lost = false };
           coord.phase_entered_at <- Engine.time ctx;
           if tracing t then begin
             emit t ctx (Obs.Decide { txn; commit = true });
@@ -921,7 +1023,7 @@ let send_announcements t ctx ~new_session ~designated ~others =
   announce true designated
 
 let begin_recovery t ctx =
-  on_crash t;
+  on_crash ~now:(Engine.time ctx) t;
   (* Durability extension: rebuild the database from stable storage and
      take the next session number from it (session numbers must be
      monotone across crashes even if the vector were lost). *)
@@ -935,6 +1037,17 @@ let begin_recovery t ctx =
       Wal.record_session wal session;
       session
   in
+  (* Reload in-doubt prepares: a crash between the vote and the decision
+     left them on stable storage, and they must be resolved — not
+     silently forgotten — before this site serves transactions again. *)
+  (match t.stable with
+  | None -> ()
+  | Some wal ->
+    List.iter
+      (fun { Wal.p_txn; coordinator; writes } ->
+        Hashtbl.replace t.pending_prepares p_txn
+          { pp_writes = writes; pp_coord = coordinator; pp_outstanding = 0 })
+      (Wal.prepared wal));
   Session.mark_waiting t.vector t.id ~session:new_session;
   (* Candidate state donors: sites this (stale) vector believes up first,
      then the rest — a believed-up site may be dead and a believed-down
@@ -947,30 +1060,68 @@ let begin_recovery t ctx =
   match candidates with
   | [] ->
     Log.warn (fun m -> m "site %d: no other sites; recovering standalone" t.id);
+    (* No peers to resolve against: in-doubt prepares are presumed
+       aborted. *)
+    let doomed = Hashtbl.fold (fun txn _ acc -> txn :: acc) t.pending_prepares [] in
+    List.iter (fun txn -> forget_in_doubt t ~txn) doomed;
     Session.mark_up t.vector t.id ~session:new_session;
     t.mode <- Normal;
     t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1
   | designated :: _ ->
+    let in_doubt =
+      List.sort compare
+        (Hashtbl.fold (fun txn pp acc -> (txn, pp.pp_coord) :: acc) t.pending_prepares [])
+    in
     t.mode <-
       Waiting_recovery
-        { new_session; candidates; observed_down = []; hints = []; started_at = Engine.time ctx };
-    (* Announce to every other site — the paper sends to each operational
-       site, but our vector is stale, and a site we wrongly believe down
-       must still learn our new session number (announcements to actually
-       dead sites just produce ignorable send failures).  The designated
-       candidate also ships its state. *)
-    let others = List.filter (fun s -> s <> designated) all_others in
-    send_announcements t ctx ~new_session ~designated ~others;
-    if tracing t then
-      emit t ctx
-        (Obs.Control
-           {
-             kind = Obs.Recovery;
-             detail = Printf.sprintf "announce session %d" new_session;
-           })
+        {
+          new_session;
+          candidates;
+          observed_down = [];
+          hints = [];
+          started_at = Engine.time ctx;
+          unresolved = List.length in_doubt;
+          announced = in_doubt = [];
+        };
+    if in_doubt <> [] then
+      (* Resolve the in-doubt prepares first; the control-1 announcements
+         go out once the last verdict is in, so the donor's shipped state
+         already reflects any resolved commit's clears. *)
+      List.iter
+        (fun (txn, coordinator) ->
+          Engine.send ctx coordinator (Message.Txn_status_request { txn }))
+        in_doubt
+    else begin
+      (* Announce to every other site — the paper sends to each operational
+         site, but our vector is stale, and a site we wrongly believe down
+         must still learn our new session number (announcements to actually
+         dead sites just produce ignorable send failures).  The designated
+         candidate also ships its state. *)
+      let others = List.filter (fun s -> s <> designated) all_others in
+      send_announcements t ctx ~new_session ~designated ~others;
+      if tracing t then
+        emit t ctx
+          (Obs.Control
+             {
+               kind = Obs.Recovery;
+               detail = Printf.sprintf "announce session %d" new_session;
+             })
+    end
 
 let handle_recovery_announce t ctx ~site ~session ~want_state ~src =
   Session.mark_up t.vector site ~session;
+  (* The announcer is back with its stable storage intact: any prepare it
+     coordinated before crashing can now be resolved authoritatively
+     (durable decision record, or presumed abort). *)
+  let stale_in_doubt =
+    Hashtbl.fold
+      (fun txn pp acc ->
+        if pp.pp_coord = site && pp.pp_outstanding = 0 then txn :: acc else acc)
+      t.pending_prepares []
+  in
+  List.iter
+    (fun txn -> Engine.send ctx src (Message.Txn_status_request { txn }))
+    (List.sort compare stale_in_doubt);
   (* Partial replication: fail-lock knowledge is group-local, and the
      state donor may not hold (hence not track) items the recovering site
      missed.  Every operational site that knows of missed updates sends
@@ -1073,6 +1224,142 @@ let handle_recovery_candidate_failure t ctx ~dst =
          hazard the paper's two-step proposal aims to shrink (§3.2). *)
       Log.warn (fun m -> m "site %d: recovery blocked, no operational donor" t.id))
 
+(* {2 In-doubt resolution (durability extension)}
+
+   A participant that crashed between its yes-vote and the decision
+   recovers with the prepare still on stable storage.  Before announcing
+   recovery (control-1) it asks the transaction's coordinator for the
+   outcome: a durable decision record (or a live commit phase) means
+   commit, an up coordinator without one means presumed abort.  If the
+   coordinator is down, every other site is probed — any site whose
+   update log contains the transaction proves the commit; if all probes
+   come back negative the prepare is presumed aborted (the only commits
+   invisible to every survivor are the knowledge-loss corner the cluster
+   detector counts). *)
+
+let maybe_announce_after_resolution t ctx =
+  match t.mode with
+  | Normal -> ()
+  | Waiting_recovery w ->
+    if (not w.announced) && w.unresolved <= 0 then begin
+      w.announced <- true;
+      match w.candidates with
+      | [] -> ()
+      | designated :: _ ->
+        let all_others =
+          List.filter (fun s -> s <> t.id) (List.init (Session.num_sites t.vector) Fun.id)
+        in
+        let others = List.filter (fun s -> s <> designated) all_others in
+        send_announcements t ctx ~new_session:w.new_session ~designated ~others;
+        if tracing t then
+          emit t ctx
+            (Obs.Control
+               {
+                 kind = Obs.Recovery;
+                 detail = Printf.sprintf "announce session %d" w.new_session;
+               })
+    end
+
+(* One in-doubt prepare reached a verdict (or was superseded); release
+   the control-1 announcements once the last one resolves. *)
+let resolution_step t ctx =
+  match t.mode with
+  | Normal -> ()
+  | Waiting_recovery w ->
+    w.unresolved <- w.unresolved - 1;
+    maybe_announce_after_resolution t ctx
+
+let resolve_in_doubt t ctx ~txn ~committed =
+  match Hashtbl.find_opt t.pending_prepares txn with
+  | None -> ()  (* already resolved (duplicate probe answer) *)
+  | Some pp ->
+    if committed then begin
+      forget_in_doubt t ~txn;
+      (* Apply the decided writes from the durable prepare record.  Our
+         own fail-lock bits for these items (set by the coordinator as a
+         witness when our commit-ack bounced) are left to the normal
+         recovery machinery: the copier refresh is version-safe even if
+         later transactions overwrote the items, and clears them
+         everywhere once our copy is provably current. *)
+      apply_writes t ctx ~txn pp.pp_writes;
+      if tracing t then
+        emit t ctx
+          (Obs.Control
+             { kind = Obs.Recovery; detail = Printf.sprintf "in-doubt txn %d committed" txn });
+      resolution_step t ctx
+    end
+    else if pp.pp_outstanding > 1 then pp.pp_outstanding <- pp.pp_outstanding - 1
+    else begin
+      (* Authoritative abort from the coordinator, or the last probe came
+         back negative: presumed abort. *)
+      forget_in_doubt t ~txn;
+      if tracing t then
+        emit t ctx
+          (Obs.Control
+             { kind = Obs.Recovery; detail = Printf.sprintf "in-doubt txn %d aborted" txn });
+      resolution_step t ctx
+    end
+
+(* A status request bounced off a dead site.  First bounce (the
+   coordinator): fan the probe out to every other site.  Later bounces
+   (probes): count them as negative answers. *)
+let handle_status_request_failed t ctx ~txn ~dst =
+  match Hashtbl.find_opt t.pending_prepares txn with
+  | None -> ()
+  | Some pp ->
+    if pp.pp_outstanding > 0 then begin
+      if pp.pp_outstanding > 1 then pp.pp_outstanding <- pp.pp_outstanding - 1
+      else begin
+        forget_in_doubt t ~txn;
+        resolution_step t ctx
+      end
+    end
+    else begin
+      let targets =
+        List.filter
+          (fun s -> s <> t.id && s <> dst)
+          (List.init (Session.num_sites t.vector) Fun.id)
+      in
+      match targets with
+      | [] ->
+        forget_in_doubt t ~txn;
+        resolution_step t ctx
+      | _ ->
+        pp.pp_outstanding <- List.length targets;
+        List.iter (fun s -> Engine.send ctx s (Message.Txn_status_request { txn })) targets
+    end
+
+let handle_txn_status_request t ctx ~txn ~src =
+  Engine.work ctx t.cost.Cost_model.ack_process;
+  let committed =
+    match current_coord t txn with
+    | Some coord -> begin
+      match coord.phase with
+      | Committing _ -> true
+      | Copying _ | Preparing _ ->
+        (* The asker crashed before this transaction could gather every
+           vote; it can never commit — abort it now. *)
+        abort_txn t ctx coord ~reason:Metrics.Participant_failed ~notify:true;
+        false
+    end
+    | None -> (
+      match t.stable with
+      | Some wal when Wal.decided_commit wal ~txn -> true
+      | Some _ | None ->
+        (* Not ours (or long retired): our update log proves any commit
+           we applied.  Only an entry installing version [txn] counts —
+           copier installs are logged under the {e requesting}
+           transaction's id but carry the source copy's older version,
+           and must not masquerade as a commit of that transaction.  A
+           negative answer is only authoritative from the coordinator;
+           the asker treats probe negatives as presumed abort once every
+           probe agrees. *)
+        List.exists
+          (fun e -> e.Update_log.txn = txn && e.Update_log.write.Database.version = txn)
+          (Update_log.entries t.log))
+  in
+  Engine.send ctx src (Message.Txn_status_reply { txn; committed })
+
 (* {2 Send failures (Appendix A "site is now down" branches)} *)
 
 let handle_send_failed t ctx ~dst ~payload =
@@ -1106,6 +1393,24 @@ let handle_send_failed t ctx ~dst ~payload =
       match coord.phase with
       | Committing c ->
         if Bitset.mem c.pending_acks dst then begin
+          c.lost <- true;
+          (* The witness bits our local commit is about to set for [dst]
+             exist nowhere else: the other participants cleared dst's
+             bits believing it up.  If dst later recovers from a state
+             donor other than us, that donor would ship it a fail-lock
+             table missing its own staleness — broadcast the bits as
+             hints so every survivor records them. *)
+          (if faillocks_on t then begin
+             let items =
+               List.filter_map
+                 (fun { Database.item; _ } ->
+                   if believes_stored t ~site:dst ~item then Some item else None)
+                 coord.writes
+             in
+             if items <> [] then
+               iter_others t (fun r ->
+                   Engine.send ctx r (Message.Faillock_hint { for_site = dst; items }))
+           end);
           Bitset.clear c.pending_acks dst;
           c.remaining <- c.remaining - 1;
           if c.remaining = 0 then local_commit t ctx coord
@@ -1115,11 +1420,24 @@ let handle_send_failed t ctx ~dst ~payload =
     | None -> ()
   end
   | Message.Prepare_ack { txn } ->
-    (* The coordinator died before our acknowledgement arrived. *)
-    Hashtbl.remove t.pending_prepares txn;
-    Hashtbl.remove t.participant_started txn;
+    (* The coordinator died before our acknowledgement arrived: it never
+       decided this transaction, so the prepare is presumed aborted. *)
+    if Hashtbl.mem t.pending_prepares txn then begin
+      forget_in_doubt t ~txn;
+      resolution_step t ctx
+    end;
     announce_failures t ctx [ dst ]
   | Message.Commit_ack _ -> announce_failures t ctx [ dst ]
+  | Message.Txn_status_request { txn } ->
+    (match t.mode with
+    | Waiting_recovery w ->
+      Session.mark_down t.vector dst;
+      if not (List.mem dst w.observed_down) then w.observed_down <- dst :: w.observed_down
+    | Normal -> announce_failures t ctx [ dst ]);
+    handle_status_request_failed t ctx ~txn ~dst
+  | Message.Txn_status_reply _ ->
+    (* The asker died after asking; it will ask again when it recovers. *)
+    announce_failures t ctx [ dst ]
   | Message.Recovery_announce { want_state; _ } ->
     if want_state then handle_recovery_candidate_failure t ctx ~dst
     else begin
@@ -1162,8 +1480,10 @@ let handle_message t ctx ~src payload =
   | Message.Commit_ack { txn } -> handle_commit_ack t ctx ~txn ~src
   | Message.Abort { txn; cleared } ->
     apply_embedded_clears t ~coordinator:src cleared;
-    Hashtbl.remove t.pending_prepares txn;
-    Hashtbl.remove t.participant_started txn
+    if Hashtbl.mem t.pending_prepares txn then begin
+      forget_in_doubt t ~txn;
+      resolution_step t ctx
+    end
   | Message.Copy_request { txn; items } ->
     (* Serve up-to-date copies; items our own copy is fail-locked for (or
        that we do not store) cannot be served. *)
@@ -1221,11 +1541,17 @@ let handle_message t ctx ~src payload =
       :: t.metrics.Metrics.clear_special_ms
   | Message.Recovery_announce { site; session; want_state } ->
     handle_recovery_announce t ctx ~site ~session ~want_state ~src
+  | Message.Txn_status_request { txn } -> handle_txn_status_request t ctx ~txn ~src
+  | Message.Txn_status_reply { txn; committed } -> resolve_in_doubt t ctx ~txn ~committed
   | Message.Recovery_state { vector; faillocks; backups } ->
     handle_recovery_state t ctx ~vector ~faillocks ~backups
   | Message.Failure_announce { failed } ->
     Engine.work ctx t.cost.Cost_model.failure_announce_process;
     Session.merge_failure t.vector failed;
+    (* Presumed abort for prepares whose coordinator just died (see
+       [purge_prepares_from] for why this never races a commit). *)
+    if not (is_waiting t) then
+      List.iter (fun s -> purge_prepares_from t ~coordinator:s) failed;
     t.metrics.Metrics.control2_ms <-
       ms_of (t.cost.Cost_model.failure_announce_process + t.cost.Cost_model.message_latency)
       :: t.metrics.Metrics.control2_ms
@@ -1234,6 +1560,18 @@ let handle_message t ctx ~src payload =
       match t.mode with
       | Waiting_recovery w -> w.hints <- items :: w.hints
       | Normal -> apply_faillock_hint t items
+    end
+    else if faillocks_on t then begin
+      (* A coordinator witnessed [for_site] die mid-commit: record the
+         missed items so any state donor ships the staleness.  Under
+         partial replication only holders of an item track its bits. *)
+      let fresh = ref 0 in
+      List.iter
+        (fun item ->
+          if ((not (partial t)) || stores t ~item) && Faillock.set t.faillocks ~item ~site:for_site
+          then incr fresh)
+        items;
+      t.metrics.Metrics.faillocks_set <- t.metrics.Metrics.faillocks_set + !fresh
     end
   | Message.Backup_copy { target; write } ->
     Placement.View.add_backup t.placement ~site:target ~item:write.Database.item;

@@ -86,8 +86,23 @@ val buffered_prepares : t -> int
 (** Participant-side phase-1 write sets buffered awaiting the
     coordinator's decision — 0 at quiescence. *)
 
-val on_crash : t -> unit
+val in_doubt : t -> int
+(** Prepares this site would still have to resolve after a crash: the
+    durable prepare records under [Config.Durable_wal], the volatile
+    buffered prepares otherwise.  0 once every transaction this site
+    voted on has been decided or presumed aborted. *)
+
+val wal : t -> Raid_storage.Wal.t option
+(** The site's simulated stable storage ([None] under
+    [Config.In_memory]).  Read-only introspection for tests and the
+    crash matrix; mutating it mid-run voids the recovery guarantees. *)
+
+val on_crash : ?now:Raid_net.Vtime.t -> t -> unit
 (** Reset volatile state (in-flight coordination, buffered phase-1
     writes).  The cluster driver calls this when it fails the site;
     database, fail-locks and session vector survive, as they would on
-    stable storage. *)
+    stable storage.  A coordinated transaction past its decide point has
+    durably logged the decision with its Commit messages already in
+    flight, so its writes are preserved locally (logged to the WAL under
+    [Config.Durable_wal]) rather than lost; [now] stamps those update-log
+    entries. *)

@@ -1,5 +1,7 @@
 type entry = { txn : int; write : Database.write }
 
+type prepared = { p_txn : int; coordinator : int; writes : Database.write list }
+
 type t = {
   checkpoint_interval : int;
   mutable checkpoint_image : (int * int) option array;  (* (value, version) or absent *)
@@ -7,18 +9,40 @@ type t = {
   mutable log_length : int;
   mutable checkpoints_taken : int;
   mutable session : int;
+  (* In-doubt transaction records live OUTSIDE the redo log on purpose:
+     [checkpoint] truncates the log but must never drop a buffered
+     prepare (the participant is still in doubt), and [replay_into] must
+     never materialize a prepared-but-undecided write (it was never
+     committed).  Keeping them in side tables makes both properties
+     structural rather than relying on careful log filtering. *)
+  prepared_tbl : (int, prepared) Hashtbl.t;
+  decided_tbl : (int, unit) Hashtbl.t;
 }
 
-let create ?(checkpoint_interval = 64) ~num_items () =
+let create ?(checkpoint_interval = 64) ?initial ~num_items () =
   if checkpoint_interval <= 0 then invalid_arg "Wal.create: non-positive checkpoint interval";
   if num_items < 0 then invalid_arg "Wal.create: negative num_items";
+  (match initial with
+  | Some db when Database.num_items db <> num_items ->
+    invalid_arg "Wal.create: initial database shape mismatch"
+  | Some _ | None -> ());
   {
     checkpoint_interval;
-    checkpoint_image = Array.make num_items (Some (0, 0));
+    (* The initial checkpoint must mirror the owner's real initial
+       database: for a partial-replication site, an all-items image
+       would make the first post-crash replay resurrect copies of items
+       the site never stored — phantom version-0 copies no fail-lock
+       tracks. *)
+    checkpoint_image =
+      (match initial with
+      | Some db -> Database.snapshot db
+      | None -> Array.make num_items (Some (0, 0)));
     log_rev = [];
     log_length = 0;
     checkpoints_taken = 0;
     session = 1;
+    prepared_tbl = Hashtbl.create 8;
+    decided_tbl = Hashtbl.create 8;
   }
 
 let append t entry =
@@ -62,3 +86,17 @@ let session t = t.session
 let record_session t session =
   if session <= t.session then invalid_arg "Wal.record_session: session numbers must increase";
   t.session <- session
+
+let log_prepare t ~txn ~coordinator writes =
+  Hashtbl.replace t.prepared_tbl txn { p_txn = txn; coordinator; writes }
+
+let forget_prepare t ~txn = Hashtbl.remove t.prepared_tbl txn
+
+let prepared t =
+  Hashtbl.fold (fun _ p acc -> p :: acc) t.prepared_tbl []
+  |> List.sort (fun a b -> compare a.p_txn b.p_txn)
+
+let prepared_count t = Hashtbl.length t.prepared_tbl
+let log_decision t ~txn = Hashtbl.replace t.decided_tbl txn ()
+let forget_decision t ~txn = Hashtbl.remove t.decided_tbl txn
+let decided_commit t ~txn = Hashtbl.mem t.decided_tbl txn

@@ -17,14 +17,22 @@
 
 type entry = { txn : int; write : Database.write }
 
+type prepared = { p_txn : int; coordinator : int; writes : Database.write list }
+(** A durably buffered prepare: the participant voted yes for [p_txn]
+    (coordinated by [coordinator]) and must be able to apply [writes]
+    after a crash if the decision turns out to be commit. *)
+
 type t
 
-val create : ?checkpoint_interval:int -> num_items:int -> unit -> t
-(** A fresh store whose checkpoint is the initial database (all items
-    value 0, version 0).  [checkpoint_interval] (default 64) is the
-    number of appended entries after which {!maybe_checkpoint} compacts.
-    @raise Invalid_argument on non-positive interval or negative
-    [num_items]. *)
+val create : ?checkpoint_interval:int -> ?initial:Database.t -> num_items:int -> unit -> t
+(** A fresh store whose checkpoint is the owner's initial database:
+    [initial] when given (a partial-replication site must pass its own
+    database, or the first post-crash replay resurrects phantom copies
+    of items it never stored), otherwise all items at (value 0,
+    version 0).  [checkpoint_interval] (default 64) is the number of
+    appended entries after which {!maybe_checkpoint} compacts.
+    @raise Invalid_argument on non-positive interval, negative
+    [num_items], or an [initial] of a different shape. *)
 
 val append : t -> entry -> unit
 (** Log one committed write (redo record). *)
@@ -58,3 +66,37 @@ val session : t -> int
 val record_session : t -> int -> unit
 (** Persist a new session number.  @raise Invalid_argument if it does
     not increase. *)
+
+(** {1 In-doubt transaction records}
+
+    Prepare and decision records are stored in side tables, {e not} in
+    the redo log: {!checkpoint} truncates the log without touching them
+    (a checkpoint taken while a prepare is buffered must not drop the
+    in-doubt transaction), and {!replay_into} never materializes a
+    prepared-but-undecided write (only committed redo records replay).
+    A participant logs a prepare before voting yes and forgets it once
+    the decision is applied or the transaction aborts; a coordinator
+    logs a commit decision at the decide point (before any [Commit]
+    message leaves) and forgets it once every participant has acked. *)
+
+val log_prepare : t -> txn:int -> coordinator:int -> Database.write list -> unit
+(** Durably buffer an in-doubt prepare (overwrites any record for the
+    same transaction). *)
+
+val forget_prepare : t -> txn:int -> unit
+(** Drop the prepare record once the transaction is decided locally. *)
+
+val prepared : t -> prepared list
+(** All in-doubt prepares, in transaction-id order. *)
+
+val prepared_count : t -> int
+
+val log_decision : t -> txn:int -> unit
+(** Durably record a commit decision for a transaction this site
+    coordinates.  There is no abort record: absence means presumed
+    abort. *)
+
+val forget_decision : t -> txn:int -> unit
+
+val decided_commit : t -> txn:int -> bool
+(** Whether a durable commit decision exists for [txn]. *)

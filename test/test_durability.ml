@@ -127,6 +127,127 @@ let test_durable_session_numbers () =
   Alcotest.(check int) "session 3 after two crashes" 3
     (Site.session_number (Cluster.site cluster 2))
 
+(* {2 Checkpoint vs in-flight 2PC (the Wal.checkpoint hazard)}
+
+   Prepare and decision records live in side tables outside the redo log,
+   so a checkpoint taken while a prepare is buffered must neither drop
+   the in-doubt record nor let replay materialize the undecided write. *)
+
+let test_checkpoint_preserves_prepares () =
+  let wal = Wal.create ~checkpoint_interval:2 ~num_items:4 () in
+  let db = Database.create ~num_items:4 in
+  (* A participant votes yes: the prepare is durably buffered. *)
+  Wal.log_prepare wal ~txn:9 ~coordinator:2 [ write ~item:3 ~value:9 ~version:9 ];
+  (* Two committed writes reach the interval and trigger compaction. *)
+  List.iter
+    (fun (txn, item) ->
+      let w = write ~item ~value:txn ~version:txn in
+      Database.apply db w;
+      Wal.append wal { Wal.txn; write = w };
+      ignore (Wal.maybe_checkpoint wal db))
+    [ (1, 0); (2, 1) ];
+  Alcotest.(check int) "log truncated" 0 (Wal.log_length wal);
+  Alcotest.(check int) "checkpointed" 1 (Wal.checkpoints_taken wal);
+  (* The in-doubt prepare survived the truncation... *)
+  Alcotest.(check int) "prepare survives checkpoint" 1 (Wal.prepared_count wal);
+  (match Wal.prepared wal with
+  | [ { Wal.p_txn = 9; coordinator = 2; writes = [ w ] } ] ->
+    Alcotest.(check int) "prepared write intact" 3 w.Database.item
+  | _ -> Alcotest.fail "prepare record lost or mangled by the checkpoint");
+  (* ...and replay never materializes the prepared-but-undecided write. *)
+  let fresh = Database.create ~num_items:4 in
+  ignore (Wal.replay_into wal fresh);
+  Alcotest.(check (option (pair int int))) "undecided write not replayed" (Some (0, 0))
+    (Database.read fresh 3);
+  (* Decision records survive checkpoints the same way. *)
+  Wal.log_decision wal ~txn:11;
+  Wal.checkpoint wal db;
+  Alcotest.(check bool) "decision survives checkpoint" true (Wal.decided_commit wal ~txn:11);
+  Wal.forget_prepare wal ~txn:9;
+  Alcotest.(check int) "forgotten once decided" 0 (Wal.prepared_count wal)
+
+(* {2 The initial checkpoint image under partial replication}
+
+   Wal.create's image must mirror the owner's real initial database: a
+   full all-items image made the first post-crash replay resurrect
+   phantom version-0 copies of items a partial site never stored. *)
+
+let test_initial_image_respects_partial_shape () =
+  let stored item = item mod 2 = 0 in
+  let db = Database.create_partial ~num_items:4 ~stored in
+  let wal = Wal.create ~initial:db ~num_items:4 () in
+  let crashed = Database.create_partial ~num_items:4 ~stored in
+  (* Pollute with a copy the site never stored, as the old full initial
+     image effectively did; replay must drop it, not legitimize it. *)
+  Database.materialize crashed { Database.item = 1; value = 5; version = 5 };
+  ignore (Wal.replay_into wal crashed);
+  Alcotest.(check (option (pair int int))) "stored item restored" (Some (0, 0))
+    (Database.read crashed 0);
+  Alcotest.(check (option (pair int int))) "unstored item absent after replay" None
+    (Database.read crashed 1);
+  Alcotest.check_raises "initial shape validated"
+    (Invalid_argument "Wal.create: initial database shape mismatch") (fun () ->
+      ignore (Wal.create ~initial:db ~num_items:5 ()))
+
+(* {2 Replay idempotence (property)}
+
+   A recovering site can be told to recover again before it finishes
+   (duplicate Recover_command, a re-noticed failure): replaying the same
+   store twice — even into a polluted database — must land in exactly
+   the state of a single replay into a fresh one. *)
+
+let replay_idempotent_prop =
+  QCheck.Test.make ~name:"replay_into twice = once" ~count:100
+    QCheck.(list (pair (int_bound 7) (int_bound 100)))
+    (fun writes ->
+      let num_items = 8 in
+      let wal = Wal.create ~checkpoint_interval:4 ~num_items () in
+      let db = Database.create ~num_items in
+      List.iteri
+        (fun i (item, value) ->
+          let w = write ~item ~value ~version:(i + 1) in
+          Database.apply db w;
+          Wal.append wal { Wal.txn = i + 1; write = w };
+          ignore (Wal.maybe_checkpoint wal db))
+        writes;
+      let once = Database.create ~num_items in
+      ignore (Wal.replay_into wal once);
+      let twice = Database.create ~num_items in
+      Database.materialize twice { Database.item = 0; value = 999; version = 999 };
+      ignore (Wal.replay_into wal twice);
+      ignore (Wal.replay_into wal twice);
+      Database.equal once twice)
+
+let test_duplicate_recover_command () =
+  (* Two Recover_command events delivered back to back: the second
+     re-enters begin_recovery while the first recovery is still waiting
+     for its donor.  Each pass replays the WAL and records the next
+     session number; the monotonicity guard in Wal.record_session must
+     never fire, and the site must come up exactly once. *)
+  let module Engine = Raid_net.Engine in
+  let module Message = Raid_core.Message in
+  let cluster = Cluster.create (durable_config ()) in
+  List.iter
+    (fun item ->
+      let id = Cluster.next_txn_id cluster in
+      ignore (Cluster.submit cluster ~coordinator:0 (Txn.make ~id [ Txn.Write item ])))
+    [ 0; 1; 2 ];
+  let before = Database.snapshot (Site.database (Cluster.site cluster 1)) in
+  Cluster.fail_site cluster 1;
+  let engine = Cluster.engine cluster in
+  Engine.set_alive engine 1 true;
+  Engine.inject engine ~dst:1 Message.Recover_command;
+  Engine.inject engine ~dst:1 Message.Recover_command;
+  Cluster.run_to_quiescence cluster;
+  Alcotest.(check bool) "came up, not stuck waiting" false
+    (Site.is_waiting (Cluster.site cluster 1));
+  (* Both passes burned a session number (1 -> 2 -> 3). *)
+  Alcotest.(check int) "both sessions recorded" 3 (Site.session_number (Cluster.site cluster 1));
+  let after = Database.snapshot (Site.database (Cluster.site cluster 1)) in
+  Alcotest.(check (array (option (pair int int)))) "replay still exact" before after;
+  (match Invariant.all cluster with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "consistent" true (Cluster.fully_consistent cluster)
+
 let test_checkpoints_bound_replay () =
   let cluster = Cluster.create (durable_config ~checkpoint_interval:4 ()) in
   for _ = 1 to 30 do
@@ -226,4 +347,10 @@ let suite =
     Alcotest.test_case "session numbers durable" `Quick test_durable_session_numbers;
     Alcotest.test_case "checkpoints bound replay" `Quick test_checkpoints_bound_replay;
     Alcotest.test_case "control-3 backups durable" `Quick test_backup_copy_is_durable;
+    Alcotest.test_case "checkpoint preserves in-doubt records" `Quick
+      test_checkpoint_preserves_prepares;
+    Alcotest.test_case "initial image respects partial shape" `Quick
+      test_initial_image_respects_partial_shape;
+    QCheck_alcotest.to_alcotest replay_idempotent_prop;
+    Alcotest.test_case "duplicate recover command is safe" `Quick test_duplicate_recover_command;
   ]
