@@ -215,6 +215,69 @@ let print_throughput () =
       ~zipf_theta:0.9 ~sites:256 ~items:100_000 ~duration_ms:30_000.0 ();
   ]
 
+(* {2 Multi-tenant engine (wall-clock layer)}
+
+   The same tenant population twice: once through the per-shard shared
+   group-committed WAL, once with a private per-record-flushed WAL per
+   tenant.  Per-tenant protocol results are identical in both modes (the
+   WAL is host-side work only), so the wall-clock gap isolates exactly
+   the batching win the shared log exists for. *)
+
+type multi_case = {
+  mt_tenants : int;
+  mt_sites : int;
+  mt_shared : bool;
+  mt_events : int;
+  mt_committed : int;
+  mt_wal_flushes : int;
+  mt_wall_s : float;
+}
+
+let print_multi () =
+  section "Multi-tenant engine (shared WAL vs per-tenant WAL)";
+  let base ~wal_mode =
+    Raid_multi.spec ~tenants:200 ~sites:8 ~items:64 ~txns:30 ~shards:8 ~fail_every:10
+      ~wal_mode ()
+  in
+  let run_case ~wal_mode =
+    let spec = base ~wal_mode in
+    let t0 = Unix.gettimeofday () in
+    let result = Raid_multi.run spec in
+    let wall = Unix.gettimeofday () -. t0 in
+    let events = Raid_multi.total_events result in
+    let flushes =
+      Array.fold_left
+        (fun acc (w : Raid_storage.Shared_wal.stats) -> acc + w.Raid_storage.Shared_wal.flushes)
+        0 result.Raid_multi.wal
+    in
+    Printf.printf "  %-15s %d tenants x %d sites: %d events, %d wal flushes, %.2f s wall, %.0f \
+                   events/sec\n"
+      (match wal_mode with
+      | Raid_multi.Shared { group_size } -> Printf.sprintf "shared/%d:" group_size
+      | Raid_multi.Per_tenant -> "per-tenant:")
+      spec.Raid_multi.tenants spec.Raid_multi.sites events flushes wall
+      (if wall > 0.0 then float_of_int events /. wall else 0.0);
+    {
+      mt_tenants = spec.Raid_multi.tenants;
+      mt_sites = spec.Raid_multi.sites;
+      mt_shared = (match wal_mode with Raid_multi.Shared _ -> true | Raid_multi.Per_tenant -> false);
+      mt_events = events;
+      mt_committed = Raid_multi.total_committed result;
+      mt_wal_flushes = flushes;
+      mt_wall_s = wall;
+    }
+  in
+  let shared = run_case ~wal_mode:(Raid_multi.Shared { group_size = 64 }) in
+  let per_tenant = run_case ~wal_mode:Raid_multi.Per_tenant in
+  if shared.mt_events <> per_tenant.mt_events || shared.mt_committed <> per_tenant.mt_committed
+  then Printf.printf "  WARN per-tenant protocol results differ between WAL modes\n"
+  else if per_tenant.mt_wall_s > 0.0 then
+    Printf.printf "  shared-WAL batching win: %.2fx wall clock (%d vs %d flushes)\n"
+      (per_tenant.mt_wall_s /. shared.mt_wall_s)
+      shared.mt_wal_flushes per_tenant.mt_wal_flushes;
+  print_newline ();
+  [ shared; per_tenant ]
+
 (* {2 Layer 2: Bechamel host-hardware microbenchmarks} *)
 
 let bench_config ?(faillocks_enabled = true) () =
@@ -283,6 +346,13 @@ let substrate_benches =
   let faillocks = Faillock.create ~num_items:50 ~num_sites:4 in
   let set_count = ref 0 and cleared = ref 0 in
   let vector = Session.create ~num_sites:4 in
+  (* The sparse-representation payoff: a 256-site vector with a handful
+     of diverged entries copies in O(diverged), where the old dense
+     array paid O(sites) however healthy the cluster was. *)
+  let vector256 = Session.create ~num_sites:256 in
+  Session.mark_down vector256 17;
+  Session.mark_waiting vector256 99 ~session:2;
+  Session.mark_down vector256 200;
   let bitset = Raid_util.Bitset.create 64 in
   [
     Test.make ~name:"substrate: fail-lock commit update (one item)"
@@ -293,6 +363,10 @@ let substrate_benches =
       (Staged.stage (fun () -> ignore (Faillock.copy faillocks)));
     Test.make ~name:"substrate: session vector copy"
       (Staged.stage (fun () -> ignore (Session.copy vector)));
+    Test.make ~name:"substrate: session vector create (256 sites)"
+      (Staged.stage (fun () -> ignore (Session.create ~num_sites:256)));
+    Test.make ~name:"substrate: session vector copy (256 sites, 3 diverged)"
+      (Staged.stage (fun () -> ignore (Session.copy vector256)));
     Test.make ~name:"substrate: bitset set/clear"
       (Staged.stage (fun () ->
            Raid_util.Bitset.set bitset 33;
@@ -370,7 +444,7 @@ let utc_date () =
   Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
 
-let write_json ~throughput ~bechamel path =
+let write_json ~throughput ~multi ~bechamel path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
@@ -392,6 +466,19 @@ let write_json ~throughput ~bechamel path =
         (json_float (float_of_int c.tp_events /. c.tp_wall_s))
         (if i = List.length throughput - 1 then "" else ","))
     throughput;
+  out "  ],\n";
+  out "  \"multi\": [\n";
+  List.iteri
+    (fun i c ->
+      out
+        "    {\"tenants\": %d, \"sites\": %d, \"shared_wal\": %s, \"events\": %d, \
+         \"committed\": %d, \"wal_flushes\": %d, \"wall_s\": %s, \"events_per_sec\": %s}%s\n"
+        c.mt_tenants c.mt_sites
+        (if c.mt_shared then "true" else "false")
+        c.mt_events c.mt_committed c.mt_wal_flushes (json_float c.mt_wall_s)
+        (json_float (float_of_int c.mt_events /. c.mt_wall_s))
+        (if i = List.length multi - 1 then "" else ","))
+    multi;
   out "  ],\n";
   out "  \"wall_clock_s\": [\n";
   let walls = List.rev !wall_timings in
@@ -423,7 +510,31 @@ let write_json ~throughput ~bechamel path =
    [--wall-tolerance] (default 1.5x: CI machines are noisy; the ratio
    still catches order-of-magnitude regressions such as an accidentally
    hot telemetry path). *)
-let check_baseline ~throughput path =
+(* A baseline stamped on a commit that is not an ancestor of HEAD (a
+   stale branch, a foreign checkout, a rebase that rewrote it away) can
+   still pass numerically while guarding the wrong lineage — warn, do
+   not fail: the numbers themselves are still checked. *)
+let warn_unless_ancestor baseline_sha =
+  let is_hex c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') in
+  match baseline_sha with
+  | None | Some "unknown" | Some "" -> ()
+  | Some sha -> (
+    if String.exists (fun c -> not (is_hex c)) sha then
+      Printf.printf "  WARN baseline git_sha %S is not a commit hash\n" sha
+    else
+      let cmd = Printf.sprintf "git merge-base --is-ancestor %s HEAD 2>/dev/null" sha in
+      try
+        match Unix.system cmd with
+        | Unix.WEXITED 0 -> ()
+        | Unix.WEXITED _ ->
+          Printf.printf
+            "  WARN baseline git_sha %s is not an ancestor of HEAD — the baseline predates a \
+             rebase or came from another branch; consider re-stamping with --json\n"
+            sha
+        | _ -> ()
+      with _ -> ())
+
+let check_baseline ~throughput ~multi path =
   let module Json = Raid_obs.Json in
   section (Printf.sprintf "Baseline check against %s" path);
   let contents =
@@ -440,8 +551,15 @@ let check_baseline ~throughput path =
       Printf.eprintf "baseline %s does not parse: %s\n" path e;
       exit 1
   in
+  (let sha =
+     match Json.member "git_sha" doc with Some (Json.Str s) -> Some s | _ -> None
+   in
+   warn_unless_ancestor sha);
   let cases =
     match Json.member "throughput" doc with Some arr -> Json.to_list arr | None -> []
+  in
+  let multi_cases =
+    match Json.member "multi" doc with Some arr -> Json.to_list arr | None -> []
   in
   let int_field k v = match Json.member k v with Some (Json.Int n) -> Some n | _ -> None in
   let float_field k v =
@@ -504,6 +622,59 @@ let check_baseline ~throughput path =
               !wall_tolerance
         | _ -> ()))
     throughput;
+  (* Multi-tenant cases: events, committed and flush counts are
+     deterministic (fixed shard count, schedule-fixed interleaving), so
+     they must match exactly; wall only within tolerance. *)
+  if multi_cases = [] && multi <> [] then
+    Printf.printf "  no multi section in baseline, skipped (re-stamp with --json to add it)\n"
+  else
+    List.iter
+      (fun c ->
+        match
+          List.find_opt
+            (fun b ->
+              int_field "tenants" b = Some c.mt_tenants
+              && int_field "sites" b = Some c.mt_sites
+              && (match Json.member "shared_wal" b with
+                 | Some (Json.Bool shared) -> shared = c.mt_shared
+                 | _ -> false))
+            multi_cases
+        with
+        | None ->
+          Printf.printf "  no baseline multi case for %d tenants / %d sites / %s, skipped\n"
+            c.mt_tenants c.mt_sites
+            (if c.mt_shared then "shared wal" else "per-tenant wal")
+        | Some b ->
+          let label =
+            Printf.sprintf "multi %d tenants / %s wal" c.mt_tenants
+              (if c.mt_shared then "shared" else "per-tenant")
+          in
+          (match int_field "events" b with
+          | Some events when events <> c.mt_events ->
+            fail "%s: events %d, baseline %d (deterministic field drifted)" label c.mt_events
+              events
+          | _ -> ());
+          (match int_field "committed" b with
+          | Some committed when committed <> c.mt_committed ->
+            fail "%s: committed %d, baseline %d (deterministic field drifted)" label
+              c.mt_committed committed
+          | _ -> ());
+          (match int_field "wal_flushes" b with
+          | Some flushes when flushes <> c.mt_wal_flushes ->
+            fail "%s: wal flushes %d, baseline %d (deterministic field drifted)" label
+              c.mt_wal_flushes flushes
+          | _ -> ());
+          match float_field "wall_s" b with
+          | Some wall when wall > 0.0 ->
+            let ratio = c.mt_wall_s /. wall in
+            Printf.printf "  %s: wall %.3f s vs baseline %.3f s (%+.1f%%)\n" label c.mt_wall_s
+              wall
+              ((ratio -. 1.0) *. 100.0);
+            if ratio > !wall_tolerance then
+              fail "%s: wall clock %.2fx the baseline (tolerance %.2fx)" label ratio
+                !wall_tolerance
+          | _ -> ())
+      multi;
   if !failures > 0 then begin
     Printf.eprintf "baseline check: %d failure%s\n" !failures
       (if !failures = 1 then "" else "s");
@@ -525,10 +696,11 @@ let () =
   timed "ablation grid" print_ablations;
   timed "scaling and robustness sweeps" print_scaling_and_robustness;
   let throughput = timed "steady-state throughput" print_throughput in
+  let multi = timed "multi-tenant engine" print_multi in
   let bechamel = timed "bechamel microbenchmarks" run_bechamel in
   (match !json_path with
   | None -> ()
-  | Some path -> write_json ~throughput ~bechamel path);
+  | Some path -> write_json ~throughput ~multi ~bechamel path);
   match !baseline_path with
   | None -> ()
-  | Some path -> check_baseline ~throughput path
+  | Some path -> check_baseline ~throughput ~multi path

@@ -642,6 +642,14 @@ let serve_cmd =
       value & opt float 100.0
       & info [ "sample" ] ~docv:"MS" ~doc:"Telemetry sampling interval in virtual milliseconds.")
   in
+  let tenants =
+    Arg.(
+      value & opt int 1
+      & info [ "tenants" ] ~docv:"N"
+          ~doc:
+            "Host $(docv) independent clusters in one soak; telemetry and /sites gain a \
+             tenant label, fail/recover actions address tenant 0.")
+  in
   let sites =
     Arg.(value & opt int 16 & info [ "sites" ] ~docv:"N" ~doc:"Number of database sites.")
   in
@@ -683,8 +691,8 @@ let serve_cmd =
       & info [ "zipf-theta" ] ~docv:"THETA"
           ~doc:"Zipfian item skew in (0,1); omitted: uniform item draw.")
   in
-  let run port accel sample sites items max_ops write_prob duration seed replication_factor
-      sharding zipf_theta =
+  let run port accel sample tenants sites items max_ops write_prob duration seed
+      replication_factor sharding zipf_theta =
     if sample <= 0.0 then begin
       prerr_endline "raid serve: --sample must be positive";
       exit 2
@@ -701,14 +709,17 @@ let serve_cmd =
             (Raid_core.Placement.spec ~sharding ~factor:replication_factor ())
     in
     let config =
-      Raid_sim.Soak.make_config ~sites ~items ~max_ops ~write_prob ~replication ?zipf_theta
-        ~accel ~sample:(Raid_net.Vtime.of_ms_f sample) ~seed ~port ?duration_s:duration ()
+      Raid_sim.Soak.make_config ~tenants ~sites ~items ~max_ops ~write_prob ~replication
+        ?zipf_theta ~accel ~sample:(Raid_net.Vtime.of_ms_f sample) ~seed ~port
+        ?duration_s:duration ()
     in
     let soak = Raid_sim.Soak.create config in
     Sys.set_signal Sys.sigint
       (Sys.Signal_handle (fun _ -> Raid_sim.Soak.stop soak));
-    Printf.printf "raid serve: http://127.0.0.1:%d (%d sites, accel %s%s); ctrl-C drains\n%!"
-      (Raid_sim.Soak.port soak) sites
+    Printf.printf "raid serve: http://127.0.0.1:%d (%s%d sites, accel %s%s); ctrl-C drains\n%!"
+      (Raid_sim.Soak.port soak)
+      (if tenants > 1 then Printf.sprintf "%d tenants x " tenants else "")
+      sites
       (if accel <= 0.0 then "off" else Printf.sprintf "%gx" accel)
       (match duration with
       | None -> ""
@@ -728,8 +739,8 @@ let serve_cmd =
           API on 127.0.0.1 exposes the cluster live: /health, /metrics (Prometheus), /sites, \
           /txns, POST /sites/ID/fail|recover, POST /load.")
     Term.(
-      const run $ port $ accel $ sample $ sites $ items $ max_ops $ write_prob $ duration
-      $ seed $ replication_factor $ sharding $ zipf_theta)
+      const run $ port $ accel $ sample $ tenants $ sites $ items $ max_ops $ write_prob
+      $ duration $ seed $ replication_factor $ sharding $ zipf_theta)
 
 (* `raid repl` *)
 (* `raid crashmatrix` — the systematic crash-injection matrix: kill a
@@ -847,6 +858,111 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive managing-site console (fail/recover sites, run txns).")
     Term.(const run $ sites $ items $ max_ops $ seed)
 
+let multi_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 1000
+      & info [ "tenants" ] ~docv:"N" ~doc:"Independent tenant clusters to run in this process.")
+  in
+  let sites =
+    Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N" ~doc:"Database sites per tenant.")
+  in
+  let items =
+    Arg.(value & opt int 64 & info [ "items" ] ~docv:"N" ~doc:"Data items per tenant.")
+  in
+  let txns =
+    Arg.(value & opt int 40 & info [ "txns" ] ~docv:"N" ~doc:"Transactions per tenant.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "WAL shards (tenant mod $(docv)); part of the configuration, never derived from \
+             $(b,-j), so results are identical at any job count.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"Transactions per tenant per round-robin scheduling quantum.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Base PRNG seed.") in
+  let group_size =
+    Arg.(
+      value & opt int 64
+      & info [ "group-size" ] ~docv:"N"
+          ~doc:"Records per shared-WAL group commit (with the default shared WAL mode).")
+  in
+  let per_tenant_wal =
+    Arg.(
+      value & flag
+      & info [ "per-tenant-wal" ]
+          ~doc:
+            "Give every tenant a private WAL flushed per record (group size 1) instead of the \
+             shared group-committed shard log — the configuration the shared WAL exists to \
+             beat.  Per-tenant protocol results are identical in both modes.")
+  in
+  let fail_every =
+    Arg.(
+      value & opt int 0
+      & info [ "fail-every" ] ~docv:"K"
+          ~doc:
+            "Crash one site of every $(docv)-th tenant a third of the way through its stream \
+             and recover it at two thirds (0 = no failures).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Quick CI run: cap tenants at 64 and transactions per tenant at 10.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Export per-tenant results and per-shard WAL stats as CSV — byte-identical at any \
+             $(b,-j) and in both WAL modes (tenant rows).")
+  in
+  let run tenants sites items txns shards batch seed group_size per_tenant_wal fail_every smoke
+      csv jobs =
+    set_jobs jobs;
+    let tenants = if smoke then min tenants 64 else tenants in
+    let txns = if smoke then min txns 10 else txns in
+    let wal_mode =
+      if per_tenant_wal then Raid_multi.Per_tenant else Raid_multi.Shared { group_size }
+    in
+    let spec =
+      try
+        Raid_multi.spec ~tenants ~sites ~items ~txns ~shards ~batch ~seed ~wal_mode ~fail_every
+          ()
+      with Invalid_argument message ->
+        Printf.eprintf "raid multi: %s\n" message;
+        exit 2
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Raid_multi.run spec in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Format.printf "%a@." Raid_multi.pp_summary result;
+    let events = Raid_multi.total_events result in
+    Printf.printf "host: %.2f s wall clock, %.0f events/sec aggregate\n" wall_s
+      (if wall_s > 0.0 then float_of_int events /. wall_s else 0.0);
+    match csv with
+    | Some path ->
+      Raid_sim.Export.write_file ~path (Raid_multi.csv result);
+      Printf.printf "per-tenant results exported to %s\n" path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:
+         "Run many independent tenant clusters in one process, sharing one group-committed WAL \
+          per shard; reports per-tenant results and aggregate events/sec.")
+    Term.(
+      const run $ tenants $ sites $ items $ txns $ shards $ batch $ seed $ group_size
+      $ per_tenant_wal $ fail_every $ smoke $ csv $ jobs)
+
 let main_cmd =
   let doc =
     "replicated copy control during site failure and recovery (Bhargava-Noll-Sabo, ICDE 1988)"
@@ -862,6 +978,7 @@ let main_cmd =
       metrics_cmd;
       throughput_cmd;
       concurrency_cmd;
+      multi_cmd;
       serve_cmd;
       crashmatrix_cmd;
       repl_cmd;

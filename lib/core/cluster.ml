@@ -22,6 +22,35 @@ let default_settings = { detection = Immediate; trace = false; obs = None; telem
 let settings ?(detection = Immediate) ?(trace = false) ?obs ?telemetry () =
   { detection; trace; obs; telemetry }
 
+module Spec = struct
+  type wal_factory = site:int -> initial:Database.t -> Wal.t
+
+  type t = {
+    config : Config.t;
+    detection : detection;
+    trace : bool;
+    obs : Raid_obs.Trace.sink option;
+    telemetry : Raid_obs.Telemetry.t option;
+    telemetry_labels : (string * string) list;
+    wal_factory : wal_factory option;
+  }
+
+  let make ?(detection = Immediate) ?(trace = false) ?obs ?telemetry ?(telemetry_labels = [])
+      ?wal_factory config =
+    { config; detection; trace; obs; telemetry; telemetry_labels; wal_factory }
+
+  let of_settings (s : settings) config =
+    {
+      config;
+      detection = s.detection;
+      trace = s.trace;
+      obs = s.obs;
+      telemetry = s.telemetry;
+      telemetry_labels = [];
+      wal_factory = None;
+    }
+end
+
 type t = {
   config : Config.t;
   detection : detection;
@@ -49,13 +78,17 @@ type t = {
    histograms.  Everything registered here either polls on sample (a
    closure over existing state, zero steady-state cost) or is a single
    float store on the probe path — the run itself is never perturbed. *)
-let attach_telemetry t registry =
+let attach_telemetry t registry ~extra_labels =
   let engine = t.engine in
+  (* Prefix every series with the caller's labels (the multi-tenant
+     engine passes [("tenant", n)]) so one registry can hold many
+     clusters without (name, labels) collisions. *)
+  let with_extra labels = extra_labels @ labels in
   (* Engine profile: events, messages and virtual handler time by
      payload kind.  Counters are pre-registered for every message kind
      so all series are aligned from the first sample. *)
   let events_total =
-    Telemetry.counter registry "raid_engine_events_total"
+    Telemetry.counter registry "raid_engine_events_total" ~labels:(with_extra [])
       ~help:"Engine events processed (deliveries, failure notifications, timer firings)"
   in
   let msg_counters = Hashtbl.create 32 in
@@ -70,7 +103,7 @@ let attach_telemetry t registry =
          for runs that never send one. *)
       let c =
         Telemetry.counter registry "raid_engine_messages_total"
-          ~labels:[ ("kind", kind) ]
+          ~labels:(with_extra [ ("kind", kind) ])
           ~help:"Messages delivered, by payload kind"
       in
       Hashtbl.replace msg_counters kind c;
@@ -82,7 +115,7 @@ let attach_telemetry t registry =
     | None ->
       let c =
         Telemetry.counter registry "raid_engine_vtime_us_total"
-          ~labels:[ ("kind", kind) ]
+          ~labels:(with_extra [ ("kind", kind) ])
           ~help:"Virtual handler time accumulated via the cost model, by payload kind (us)"
       in
       Hashtbl.replace vtime_counters kind c;
@@ -93,19 +126,19 @@ let attach_telemetry t registry =
       ignore (msg_counter kind);
       ignore (vtime_counter kind))
     Message.all_kinds;
-  Telemetry.gauge registry "raid_engine_queue_depth"
+  Telemetry.gauge registry "raid_engine_queue_depth" ~labels:(with_extra [])
     ~help:"Pending events in the engine queue" (fun () ->
       float_of_int (Engine.pending_events engine));
-  Telemetry.gauge registry "raid_engine_heap_high_water"
+  Telemetry.gauge registry "raid_engine_heap_high_water" ~labels:(with_extra [])
     ~help:"Highest event-queue depth observed since creation" (fun () ->
       float_of_int (Engine.heap_high_water engine));
-  Telemetry.polled_counter registry "raid_engine_sent_total"
+  Telemetry.polled_counter registry "raid_engine_sent_total" ~labels:(with_extra [])
     ~help:"Messages submitted, including managing-site injections" (fun () ->
       float_of_int (Engine.counters engine).Engine.sent);
-  Telemetry.polled_counter registry "raid_engine_undeliverable_total"
+  Telemetry.polled_counter registry "raid_engine_undeliverable_total" ~labels:(with_extra [])
     ~help:"Arrivals at a dead site or severed link" (fun () ->
       float_of_int (Engine.counters engine).Engine.undeliverable);
-  Telemetry.polled_counter registry "raid_knowledge_loss_total"
+  Telemetry.polled_counter registry "raid_knowledge_loss_total" ~labels:(with_extra [])
     ~help:
       "Staleness facts (item, site) whose last alive fail-lock witness crashed (DESIGN.md section 11 gap)"
     (fun () -> float_of_int t.knowledge_loss_events);
@@ -114,7 +147,7 @@ let attach_telemetry t registry =
   Array.iter
     (fun site ->
       let own = Site.id site in
-      let labels = [ ("site", string_of_int own) ] in
+      let labels = with_extra [ ("site", string_of_int own) ] in
       Telemetry.gauge registry "raid_site_faillocks" ~labels
         ~help:"Items fail-locked for this site in its own table (its out-of-date copies)"
         (fun () -> float_of_int (Faillock.count_for (Site.faillocks site) ~site:own));
@@ -136,18 +169,20 @@ let attach_telemetry t registry =
   (* Protocol aggregates: every Metrics counter, polled. *)
   List.iter
     (fun (name, _) ->
-      Telemetry.polled_counter registry ("raid_" ^ name ^ "_total")
+      Telemetry.polled_counter registry ("raid_" ^ name ^ "_total") ~labels:(with_extra [])
         ~help:"Cumulative protocol count (see Raid_core.Metrics)" (fun () ->
           float_of_int (List.assoc name (Metrics.snapshot_counts t.metrics))))
     (Metrics.snapshot_counts t.metrics);
   let latency_help = "Virtual transaction latency at the coordinator, by outcome (ms)" in
   let commit_latency =
     Telemetry.histogram registry "raid_txn_latency_ms"
-      ~labels:[ ("outcome", "commit") ] ~help:latency_help
+      ~labels:(with_extra [ ("outcome", "commit") ])
+      ~help:latency_help
   in
   let abort_latency =
     Telemetry.histogram registry "raid_txn_latency_ms"
-      ~labels:[ ("outcome", "abort") ] ~help:latency_help
+      ~labels:(with_extra [ ("outcome", "abort") ])
+      ~help:latency_help
   in
   t.telemetry_observe <-
     Some
@@ -175,8 +210,8 @@ let attach_telemetry t registry =
          on_advance = (fun ~at -> Telemetry.maybe_sample registry ~at);
        })
 
-let create ?(settings = default_settings) config =
-  let { detection; trace; obs; telemetry } = settings in
+let of_spec (spec : Spec.t) =
+  let { Spec.config; detection; trace; obs; telemetry; telemetry_labels; wal_factory } = spec in
   let metrics = Metrics.create () in
   let engine =
     Engine.create ~message_latency:config.Config.cost.Cost_model.message_latency ~trace
@@ -200,7 +235,7 @@ let create ?(settings = default_settings) config =
   in
   let sites =
     Array.init config.Config.num_sites (fun id ->
-        Site.create ~id ~config ~metrics ~on_outcome ?obs ())
+        Site.create ~id ~config ~metrics ~on_outcome ?obs ?wal_factory ())
   in
   Array.iteri (fun id site -> Engine.register engine id (Site.handler site)) sites;
   let t =
@@ -221,8 +256,12 @@ let create ?(settings = default_settings) config =
     }
   in
   cluster_ref := Some t;
-  (match telemetry with None -> () | Some registry -> attach_telemetry t registry);
+  (match telemetry with
+  | None -> ()
+  | Some registry -> attach_telemetry t registry ~extra_labels:telemetry_labels);
   t
+
+let create ?(settings = default_settings) config = of_spec (Spec.of_settings settings config)
 
 let config t = t.config
 let metrics t = t.metrics

@@ -51,11 +51,57 @@ val settings :
   settings
 (** {!default_settings} with the given fields overridden. *)
 
+(** The full construction row, as one record — everything a cluster
+    needs to exist as {e one tenant among many} in a process rather than
+    the implicit only cluster.  {!settings} covers the single-cluster
+    observation knobs; [Spec] adds the per-tenant dimensions:
+
+    - [telemetry_labels] is prepended to the labels of {e every} series
+      this cluster registers (the multi-tenant engine passes
+      [("tenant", n)]), so thousands of clusters can share one registry
+      without (name, labels) collisions;
+    - [wal_factory] replaces each site's private {!Raid_storage.Wal}
+      with one built by the caller — the hook through which all of a
+      shard's tenants write into one group-committed
+      {!Raid_storage.Shared_wal}.  Only consulted when the config's
+      durability is [Durable_wal]. *)
+module Spec : sig
+  type wal_factory = site:int -> initial:Raid_storage.Database.t -> Raid_storage.Wal.t
+
+  type t = {
+    config : Config.t;
+    detection : detection;
+    trace : bool;
+    obs : Raid_obs.Trace.sink option;
+    telemetry : Raid_obs.Telemetry.t option;
+    telemetry_labels : (string * string) list;
+    wal_factory : wal_factory option;
+  }
+
+  val make :
+    ?detection:detection ->
+    ?trace:bool ->
+    ?obs:Raid_obs.Trace.sink ->
+    ?telemetry:Raid_obs.Telemetry.t ->
+    ?telemetry_labels:(string * string) list ->
+    ?wal_factory:wal_factory ->
+    Config.t ->
+    t
+  (** Defaults mirror {!default_settings}: [Immediate] detection, no
+      trace, no sinks, no labels, private WALs. *)
+
+  val of_settings : settings -> Config.t -> t
+end
+
 type t
 
+val of_spec : Spec.t -> t
+(** A fresh cluster built from the full specification: all sites up,
+    databases identical, no fail-locks. *)
+
 val create : ?settings:settings -> Config.t -> t
-(** A fresh cluster: all sites up, databases identical, no fail-locks.
-    [settings] defaults to {!default_settings}. *)
+(** [of_spec (Spec.of_settings settings config)] — the single-cluster
+    form.  [settings] defaults to {!default_settings}. *)
 
 val config : t -> Config.t
 val metrics : t -> Metrics.t

@@ -6,7 +6,16 @@
     the perceived session number and state of every site — the paper's
     four states are [Up], [Down], [Waiting_recover] and [Terminating].
     Each site consults its own vector to decide which sites participate in
-    ROWAA transaction processing. *)
+    ROWAA transaction processing.
+
+    The representation is sparse: every vector starts as "all sites up
+    with session 1", so only entries that have diverged from that default
+    are stored (plus a bitmap of non-[Up] sites for the hot-path
+    queries).  Under k-holder partial replication a site only ever learns
+    about its placement groups and the failures it witnesses, so
+    {!create}, {!copy} and {!equal} are O(diverged) rather than O(sites)
+    — the cost of spinning up or checkpointing a vector no longer grows
+    with the cluster. *)
 
 type state = Up | Down | Waiting_recover | Terminating
 
@@ -21,7 +30,8 @@ type hook = site:int -> session:int -> state:state -> unit
 
 val create : num_sites:int -> t
 (** All sites perceived [Up] with session number 1 (the initial
-    "consistent and up-to-date" configuration of every experiment). *)
+    "consistent and up-to-date" configuration of every experiment).
+    O(1) in the number of sites. *)
 
 val set_hook : t -> hook option -> unit
 (** Install (or remove) the change hook.  {!copy} never carries the hook
@@ -75,6 +85,12 @@ val first_operational : t -> (int -> bool) -> int option
     [List.find_opt pred (operational t)]. *)
 
 val copy : t -> t
+(** O(diverged): only entries differing from the initial default are
+    copied.  The hook is never carried over. *)
+
+val diverged : t -> int
+(** Number of entries currently differing from the initial default
+    [{session = 1; state = Up}] — the size of the sparse storage. *)
 
 val install : t -> from:t -> unit
 (** Overwrite every entry of [t] with those of [from] (control-1

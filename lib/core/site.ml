@@ -118,7 +118,7 @@ type t = {
    construction-time mutations before any event runs. *)
 let obs_now t = match t.obs_ctx with Some ctx -> Engine.time ctx | None -> Vtime.zero
 
-let create ~id ~config ~metrics ~on_outcome ?obs () =
+let create ~id ~config ~metrics ~on_outcome ?obs ?wal_factory () =
   if id < 0 || id >= config.Config.num_sites then invalid_arg "Site.create: id out of range";
   let num_items = config.Config.num_items in
   let num_sites = config.Config.num_sites in
@@ -143,7 +143,10 @@ let create ~id ~config ~metrics ~on_outcome ?obs () =
       (match config.Config.durability with
       | Config.In_memory -> None
       | Config.Durable_wal { checkpoint_interval } ->
-        Some (Wal.create ~checkpoint_interval ~initial:db ~num_items ()));
+        Some
+          (match wal_factory with
+          | Some factory -> factory ~site:id ~initial:db
+          | None -> Wal.create ~checkpoint_interval ~initial:db ~num_items ()));
     placement = Placement.View.create (Config.placement config);
     pending_prepares = Hashtbl.create 16;
     participant_started = Hashtbl.create 16;

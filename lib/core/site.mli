@@ -33,6 +33,7 @@ val create :
   metrics:Metrics.t ->
   on_outcome:(Metrics.outcome -> unit) ->
   ?obs:Raid_obs.Trace.sink ->
+  ?wal_factory:(site:int -> initial:Raid_storage.Database.t -> Raid_storage.Wal.t) ->
   unit ->
   t
 (** A fresh site in the initial consistent state (database of zeros,
@@ -40,7 +41,13 @@ val create :
     transaction this site coordinates, committed or aborted.  [obs], when
     given, receives the typed protocol trace ({!Raid_obs.Trace.event})
     this site emits; without it tracing costs one [None] branch per
-    emission point.
+    emission point.  [wal_factory], when given and the config's
+    durability is [Durable_wal], builds this site's stable store instead
+    of a private {!Raid_storage.Wal.create} — the multi-tenant engine
+    passes a factory whose WALs share one group-committed
+    {!Raid_storage.Shared_wal} shard log.  [initial] is the site's own
+    initial database (the factory must pass it through, or partial
+    replication resurrects phantom copies on replay).
     @raise Invalid_argument if [id] is outside [0, num_sites). *)
 
 val handler : t -> Message.t Raid_net.Engine.handler

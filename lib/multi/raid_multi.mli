@@ -1,0 +1,108 @@
+(** Multi-tenant engine: thousands of independent RAID clusters in one
+    process, sharing the expensive infrastructure.
+
+    The paper studies one replicated cluster; erlang-ra's key design
+    point (and this layer's) is that a node should host {e many}
+    logically independent consensus clusters — tenants — and share one
+    WAL so per-tenant durability does not mean per-tenant fsync.  Each
+    tenant here is a full {!Raid_core.Cluster} (own engine, sites,
+    session vectors, fail-locks); tenants are deterministically assigned
+    to shards ([tenant mod shards]), each shard owns one group-committed
+    {!Raid_storage.Shared_wal}, and shards — never tenants — are the unit
+    of domain parallelism via {!Raid_par.Pool}.
+
+    Determinism contract: per-tenant results are a pure function of
+    [spec] alone.  The shard count is part of the spec (never derived
+    from [-j]), tenants within a shard advance round-robin in quanta of
+    [batch] transactions (so the shared log's record interleaving is
+    schedule-fixed), and all WAL flush work is host-side only — it never
+    touches virtual time or protocol outcomes.  Hence {!csv} output is
+    byte-identical at any [-j] and under either WAL mode, which is what
+    the CI slice pins. *)
+
+type wal_mode =
+  | Shared of { group_size : int }
+      (** one {!Raid_storage.Shared_wal} per shard: a batch of tenants
+          amortizes one group commit (page pad + checksum) *)
+  | Per_tenant
+      (** one log per tenant with group size 1: every record pays a full
+          page write-out — the fsync-per-tenant cost model the shared
+          log exists to beat *)
+
+type spec = {
+  tenants : int;
+  shards : int;
+  sites : int;  (** per tenant *)
+  items : int;  (** per tenant *)
+  txns : int;  (** per tenant *)
+  batch : int;  (** transactions per tenant per scheduling quantum *)
+  seed : int;
+  max_ops : int;  (** transaction size bound *)
+  write_prob : float;
+  wal_mode : wal_mode;
+  fail_every : int;
+      (** 0 disables failures; otherwise every [fail_every]-th tenant
+          crashes one site a third of the way through its stream and
+          recovers it at two thirds *)
+}
+
+val spec :
+  ?shards:int ->
+  ?sites:int ->
+  ?items:int ->
+  ?txns:int ->
+  ?batch:int ->
+  ?seed:int ->
+  ?max_ops:int ->
+  ?write_prob:float ->
+  ?wal_mode:wal_mode ->
+  ?fail_every:int ->
+  tenants:int ->
+  unit ->
+  spec
+(** Defaults: 8 shards, 8 sites, 64 items, 40 txns, batch 8, seed 1,
+    max_ops 4, write_prob 0.5, [Shared {group_size = 64}], no failures.
+    @raise Invalid_argument on non-positive counts, [sites < 2], or a
+    write probability outside [0, 1]. *)
+
+type tenant_result = {
+  tenant : int;
+  shard : int;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  events : int;  (** engine deliveries + timer firings *)
+  virtual_ms : float;  (** tenant virtual clock at the end of its stream *)
+  recovered : int;  (** successful site recoveries in its failure plan *)
+}
+
+type result = {
+  run_spec : spec;
+  results : tenant_result array;  (** indexed by tenant id *)
+  wal : Raid_storage.Shared_wal.stats array;  (** per shard, after a final flush *)
+}
+
+val run :
+  ?make_sink:(int -> Raid_obs.Trace.sink option) ->
+  ?telemetry:Raid_obs.Telemetry.t ->
+  spec ->
+  result
+(** Run every tenant's stream to completion.  [make_sink tenant], when
+    given, provides a per-tenant protocol-trace sink (tenant isolation
+    tests compare these streams).  [telemetry], when given, is attached
+    to every tenant's cluster with a [("tenant", n)] label on every
+    series — and forces the shards onto the calling domain (one registry
+    cannot be mutated from parallel domains); results are identical
+    either way, only wall time differs. *)
+
+val csv : result -> string
+(** Per-tenant rows (sorted by tenant id) followed by a per-shard WAL
+    section — every byte a pure function of the spec. *)
+
+val total_events : result -> int
+val total_committed : result -> int
+val total_aborted : result -> int
+
+val pp_summary : Format.formatter -> result -> unit
+(** Aggregate one-screen summary (no wall-clock figures; callers time
+    {!run} themselves). *)

@@ -12,6 +12,7 @@ module Json = Raid_obs.Json
 module Rng = Raid_util.Rng
 
 type config = {
+  tenants : int;
   sites : int;
   items : int;
   max_ops : int;
@@ -25,32 +26,43 @@ type config = {
   duration_s : float option;
 }
 
-let make_config ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
+let make_config ?(tenants = 1) ?(sites = 16) ?(items = 500) ?(max_ops = 5) ?(write_prob = 0.5)
     ?(replication = Config.Full) ?zipf_theta ?(accel = 1.0) ?(sample = Vtime.of_ms 100)
     ?(seed = 42) ?(port = 0) ?duration_s () =
+  if tenants <= 0 then invalid_arg "Soak: tenants must be positive";
   if sites <= 0 then invalid_arg "Soak: sites must be positive";
   if items <= 0 then invalid_arg "Soak: items must be positive";
   if accel < 0.0 then invalid_arg "Soak: accel must be non-negative";
   (match duration_s with
   | Some d when d <= 0.0 -> invalid_arg "Soak: duration must be positive"
   | _ -> ());
-  { sites; items; max_ops; write_prob; replication; zipf_theta; accel; sample; seed; port;
-    duration_s }
+  { tenants; sites; items; max_ops; write_prob; replication; zipf_theta; accel; sample; seed;
+    port; duration_s }
+
+(* One tenant: a full independent cluster with its own transaction
+   stream.  Tenant 0 keeps the exact single-tenant stream (same seed
+   path), so [tenants = 1] behaves byte-for-byte like the pre-tenant
+   soak. *)
+type tenant = {
+  tn_id : int;
+  tn_cluster : Cluster.t;
+  tn_rng : Rng.t;
+  mutable tn_workload : Workload.t;
+  mutable tn_operational : int list;  (** cached coordinator candidates *)
+}
 
 type t = {
   cfg : config;
-  cluster : Cluster.t;
+  tenants : tenant array;
   reg : Telemetry.t;
   server : Http.server;
-  rng : Rng.t;
   started : float;  (** wall clock at {!create} *)
-  mutable workload : Workload.t;
-  (* live-adjustable workload shape (POST /load) *)
+  (* live-adjustable workload shape (POST /load), applied to every tenant *)
   mutable max_ops : int;
   mutable write_prob : float;
   mutable zipf_theta : float option;
   mutable rate_cap : float option;  (** max submissions per wall second *)
-  mutable operational : int list;  (** cached coordinator candidates *)
+  mutable next_tenant : int;  (** round-robin admission cursor *)
   mutable submitted : int;
   mutable committed : int;
   mutable aborted : int;
@@ -63,18 +75,29 @@ type t = {
 }
 
 let wall t = Unix.gettimeofday () -. t.started
-let engine t = Cluster.engine t.cluster
-let now_ms t = Vtime.to_ms (Engine.now (engine t))
+let tenant0 t = t.tenants.(0)
+let cluster t = (tenant0 t).tn_cluster
+
+(* Pacing floor: the slowest tenant's virtual clock.  Round-robin
+   admission keeps the clocks together, so for one tenant this is the
+   old single-clock value. *)
+let now_ms t =
+  Array.fold_left
+    (fun acc tn -> Float.min acc (Vtime.to_ms (Engine.now (Cluster.engine tn.tn_cluster))))
+    Float.infinity t.tenants
 
 let events t =
-  let c = Engine.counters (engine t) in
-  c.Engine.delivered + c.Engine.timer_fired
+  Array.fold_left
+    (fun acc tn ->
+      let c = Engine.counters (Cluster.engine tn.tn_cluster) in
+      acc + c.Engine.delivered + c.Engine.timer_fired)
+    0 t.tenants
 
-let refresh_operational t =
-  t.operational <-
+let refresh_operational tn =
+  tn.tn_operational <-
     List.filter
-      (fun s -> not (Site.is_waiting (Cluster.site t.cluster s)))
-      (Cluster.alive_sites t.cluster)
+      (fun s -> not (Site.is_waiting (Cluster.site tn.tn_cluster s)))
+      (Cluster.alive_sites tn.tn_cluster)
 
 let rebuild_workload t =
   let spec =
@@ -82,12 +105,15 @@ let rebuild_workload t =
     | None -> Workload.Uniform { max_ops = t.max_ops; write_prob = t.write_prob }
     | Some theta -> Workload.Zipfian { max_ops = t.max_ops; write_prob = t.write_prob; theta }
   in
-  t.workload <- Workload.create spec ~num_items:t.cfg.items ~rng:(Rng.split t.rng)
+  Array.iter
+    (fun tn ->
+      tn.tn_workload <- Workload.create spec ~num_items:t.cfg.items ~rng:(Rng.split tn.tn_rng))
+    t.tenants
 
 (* {2 Endpoint bodies} *)
 
-let json_of_status (s : Cluster.site_status) =
-  Json.Obj
+let json_of_status ?tenant (s : Cluster.site_status) =
+  let base =
     [
       ("site", Json.Int s.Cluster.st_id);
       ("alive", Json.Bool s.Cluster.st_alive);
@@ -98,29 +124,68 @@ let json_of_status (s : Cluster.site_status) =
       ("buffered_prepares", Json.Int s.Cluster.st_buffered_prepares);
       ("session_up", Json.Int s.Cluster.st_session_up);
     ]
+  in
+  Json.Obj (match tenant with None -> base | Some i -> ("tenant", Json.Int i) :: base)
 
 let sites_body t =
-  let statuses = Cluster.status t.cluster in
+  let multi = Array.length t.tenants > 1 in
+  let alive =
+    Array.fold_left
+      (fun a tn -> a + List.length (Cluster.alive_sites tn.tn_cluster))
+      0 t.tenants
+  in
+  let faillocks =
+    Array.fold_left (fun a tn -> a + Cluster.total_faillocks tn.tn_cluster) 0 t.tenants
+  in
+  let sites =
+    List.concat_map
+      (fun tn ->
+        let tenant = if multi then Some tn.tn_id else None in
+        List.map (json_of_status ?tenant) (Array.to_list (Cluster.status tn.tn_cluster)))
+      (Array.to_list t.tenants)
+  in
   Json.Obj
-    [
-      ("virtual_ms", Json.Float (now_ms t));
-      ("alive", Json.Int (List.length (Cluster.alive_sites t.cluster)));
-      ("total_faillocks", Json.Int (Cluster.total_faillocks t.cluster));
-      ("sites", Json.Arr (Array.to_list (Array.map json_of_status statuses)));
-    ]
+    (("virtual_ms", Json.Float (now_ms t))
+     :: (if multi then [ ("tenants", Json.Int (Array.length t.tenants)) ] else [])
+    @ [
+        ("alive", Json.Int alive);
+        ("total_faillocks", Json.Int faillocks);
+        ("sites", Json.Arr sites);
+      ])
+
+(* With one tenant the latency series carries only the outcome label;
+   with many, one series per tenant — aggregate them (the bucket edges
+   are shared, so cumulative counts add). *)
+let latency_views t ~outcome =
+  if Array.length t.tenants = 1 then
+    Option.to_list (Telemetry.find t.reg "raid_txn_latency_ms" ~labels:[ ("outcome", outcome) ])
+  else
+    List.filter_map
+      (fun tn ->
+        Telemetry.find t.reg "raid_txn_latency_ms"
+          ~labels:[ ("tenant", string_of_int tn.tn_id); ("outcome", outcome) ])
+      (Array.to_list t.tenants)
 
 let latency_summary t ~outcome =
-  match Telemetry.find t.reg "raid_txn_latency_ms" ~labels:[ ("outcome", outcome) ] with
-  | None -> Json.Null
-  | Some v ->
-    let count = int_of_float v.Telemetry.v_value in
+  match latency_views t ~outcome with
+  | [] -> Json.Null
+  | first :: _ as views ->
+    let count =
+      List.fold_left (fun a (v : Telemetry.view) -> a + int_of_float v.Telemetry.v_value) 0 views
+    in
+    let sum = List.fold_left (fun a v -> a +. v.Telemetry.v_sum) 0.0 views in
+    let buckets =
+      List.fold_left
+        (fun acc v ->
+          List.map2 (fun (le, c) (_, c') -> (le, c + c')) acc v.Telemetry.v_buckets)
+        (List.map (fun (le, _) -> (le, 0)) first.Telemetry.v_buckets)
+        views
+    in
     Json.Obj
       [
         ("count", Json.Int count);
-        ("sum_ms", Json.Float v.Telemetry.v_sum);
-        ( "mean_ms",
-          if count = 0 then Json.Null
-          else Json.Float (v.Telemetry.v_sum /. float_of_int count) );
+        ("sum_ms", Json.Float sum);
+        ("mean_ms", if count = 0 then Json.Null else Json.Float (sum /. float_of_int count));
         ( "buckets",
           Json.Arr
             (List.map
@@ -130,7 +195,7 @@ let latency_summary t ~outcome =
                      ("le", Json.Str (Telemetry.float_repr le));
                      ("count", Json.Int cumulative);
                    ])
-               v.Telemetry.v_buckets) );
+               buckets) );
       ]
 
 let txns_body t =
@@ -161,22 +226,26 @@ let health_body t =
       ("accel", Json.Float t.cfg.accel);
     ]
 
+(* Operator fail/recover actions address tenant 0: the soak's tenants
+   are independent, so one controllable cluster is enough to exercise
+   the recovery protocol live while the rest keep serving. *)
 let site_id_of ~params t =
   match int_of_string_opt (List.assoc "id" params) with
-  | Some id when id >= 0 && id < Cluster.num_sites t.cluster -> Ok id
+  | Some id when id >= 0 && id < Cluster.num_sites (cluster t) -> Ok id
   | _ -> Error (Http.error 404 (Printf.sprintf "no such site %S" (List.assoc "id" params)))
 
 let fail_action t ~params _req =
   match site_id_of ~params t with
   | Error resp -> resp
   | Ok id ->
-    if not (Cluster.alive t.cluster id) then
+    let tn = tenant0 t in
+    if not (Cluster.alive tn.tn_cluster id) then
       Http.error 409 (Printf.sprintf "site %d is already down" id)
-    else if t.operational = [ id ] then
+    else if tn.tn_operational = [ id ] then
       Http.error 409 "refusing to fail the last operational site"
     else begin
-      Cluster.fail_site t.cluster id;
-      refresh_operational t;
+      Cluster.fail_site tn.tn_cluster id;
+      refresh_operational tn;
       Http.json
         (Json.Obj
            [ ("site", Json.Int id); ("alive", Json.Bool false); ("action", Json.Str "fail") ])
@@ -186,28 +255,30 @@ let recover_action t ~params _req =
   match site_id_of ~params t with
   | Error resp -> resp
   | Ok id ->
+    let tn = tenant0 t in
     let report status =
-      refresh_operational t;
+      refresh_operational tn;
       Http.json
         (Json.Obj
            [
              ("site", Json.Int id);
-             ("alive", Json.Bool (Cluster.alive t.cluster id));
+             ("alive", Json.Bool (Cluster.alive tn.tn_cluster id));
              ("action", Json.Str "recover");
              ("result", Json.Str status);
            ])
     in
-    if Cluster.alive t.cluster id then
-      if Site.is_waiting (Cluster.site t.cluster id) then begin
+    if Cluster.alive tn.tn_cluster id then
+      if Site.is_waiting (Cluster.site tn.tn_cluster id) then begin
         (* A blocked recovery (no operational donor at the time) retries
            through the same control-1 path. *)
-        Engine.inject (engine t) ~dst:id Message.Recover_command;
-        Cluster.run_to_quiescence t.cluster;
-        report (if Site.is_waiting (Cluster.site t.cluster id) then "blocked" else "recovered")
+        Engine.inject (Cluster.engine tn.tn_cluster) ~dst:id Message.Recover_command;
+        Cluster.run_to_quiescence tn.tn_cluster;
+        report
+          (if Site.is_waiting (Cluster.site tn.tn_cluster id) then "blocked" else "recovered")
       end
       else Http.error 409 (Printf.sprintf "site %d is already up" id)
     else
-      match Cluster.recover_site t.cluster id with
+      match Cluster.recover_site tn.tn_cluster id with
       | `Recovered -> report "recovered"
       | `Blocked -> report "blocked"
 
@@ -275,11 +346,11 @@ let index_body =
       "raid serve: live cluster introspection";
       "";
       "GET  /health            liveness and stream counters";
-      "GET  /metrics           Prometheus text exposition";
-      "GET  /sites             per-site status (JSON)";
+      "GET  /metrics           Prometheus text exposition (tenant-labelled when --tenants > 1)";
+      "GET  /sites             per-site status across tenants (JSON)";
       "GET  /txns              stream counters + latency histograms (JSON)";
-      "POST /sites/:id/fail    crash a site";
-      "POST /sites/:id/recover bring a site back";
+      "POST /sites/:id/fail    crash a site (tenant 0)";
+      "POST /sites/:id/recover bring a site back (tenant 0)";
       "POST /load              adjust workload: max_ops, write_prob, zipf_theta, rate";
       "";
     ]
@@ -307,28 +378,44 @@ let create cfg =
   let ccfg =
     Config.make ~replication:cfg.replication ~num_sites:cfg.sites ~num_items:cfg.items ()
   in
-  let cluster = Cluster.create ~settings:(Cluster.settings ~telemetry:reg ()) ccfg in
+  let make_tenant i =
+    (* Label every series by tenant only in multi-tenant mode, so a
+       single-tenant soak exposes the exact historical series names. *)
+    let telemetry_labels = if cfg.tenants > 1 then [ ("tenant", string_of_int i) ] else [] in
+    let tn_cluster =
+      Cluster.of_spec (Cluster.Spec.make ~telemetry:reg ~telemetry_labels ccfg)
+    in
+    (* Tenant 0 reproduces the historical single-tenant stream; the rest
+       get independent mixed streams (cf. Raid_multi). *)
+    let tn_rng =
+      if i = 0 then Rng.create cfg.seed
+      else Rng.create (Rng.mix ((cfg.seed * 1_000_003) + i))
+    in
+    let tn_workload =
+      Workload.create
+        (Workload.Uniform { max_ops = cfg.max_ops; write_prob = cfg.write_prob })
+        ~num_items:cfg.items ~rng:(Rng.split tn_rng)
+    in
+    let tn = { tn_id = i; tn_cluster; tn_rng; tn_workload; tn_operational = [] } in
+    refresh_operational tn;
+    tn
+  in
+  let tenants = Array.init cfg.tenants make_tenant in
   let t_ref = ref None in
   let router = Http.dispatch (routes t_ref) in
   let server = Http.serve ~port:cfg.port router in
-  let rng = Rng.create cfg.seed in
   let t =
     {
       cfg;
-      cluster;
+      tenants;
       reg;
       server;
-      rng;
       started = Unix.gettimeofday ();
-      workload =
-        Workload.create
-          (Workload.Uniform { max_ops = cfg.max_ops; write_prob = cfg.write_prob })
-          ~num_items:cfg.items ~rng:(Rng.create cfg.seed);
       max_ops = cfg.max_ops;
       write_prob = cfg.write_prob;
       zipf_theta = cfg.zipf_theta;
       rate_cap = None;
-      operational = [];
+      next_tenant = 0;
       submitted = 0;
       committed = 0;
       aborted = 0;
@@ -339,7 +426,6 @@ let create cfg =
       eps_events = 0;
     }
   in
-  refresh_operational t;
   rebuild_workload t;
   (* Process-level gauges: wall-clock facts about this soak, next to the
      virtual-time cluster metrics in the same exposition. *)
@@ -350,12 +436,15 @@ let create cfg =
   Telemetry.polled_counter reg "raid_process_requests_total"
     ~help:"HTTP requests answered by the introspection API" (fun () ->
       float_of_int (Http.requests_served server));
+  (if cfg.tenants > 1 then
+     Telemetry.gauge reg "raid_process_tenants"
+       ~help:"Independent tenant clusters hosted by this soak" (fun () ->
+         float_of_int cfg.tenants));
   Raid_obs.Build_info.register reg;
   t_ref := Some t;
   t
 
 let port t = Http.port t.server
-let cluster t = t.cluster
 let registry t = t.reg
 let stop t = t.stopping <- true
 let finished t = t.stopping || t.shut
@@ -365,17 +454,28 @@ let rate_allows t =
   | None -> true
   | Some rate -> float_of_int t.submitted < (rate *. wall t) +. 1.0
 
+(* Admit one transaction to the next tenant (round-robin) that has an
+   operational coordinator.  False when no tenant can make progress. *)
 let submit_one t =
-  match t.operational with
-  | [] -> false  (* operator failed everything failable; idle until recover *)
-  | candidates ->
-    let coordinator = Rng.choose t.rng candidates in
-    let id = Cluster.next_txn_id t.cluster in
-    let outcome = Cluster.submit t.cluster ~coordinator (Workload.next t.workload ~id) in
-    t.submitted <- t.submitted + 1;
-    if outcome.Raid_core.Metrics.committed then t.committed <- t.committed + 1
-    else t.aborted <- t.aborted + 1;
-    true
+  let n = Array.length t.tenants in
+  let rec try_from k attempts =
+    if attempts = 0 then false  (* everything failable failed; idle until recover *)
+    else
+      let tn = t.tenants.(k) in
+      let next = (k + 1) mod n in
+      match tn.tn_operational with
+      | [] -> try_from next (attempts - 1)
+      | candidates ->
+        t.next_tenant <- next;
+        let coordinator = Rng.choose tn.tn_rng candidates in
+        let id = Cluster.next_txn_id tn.tn_cluster in
+        let outcome = Cluster.submit tn.tn_cluster ~coordinator (Workload.next tn.tn_workload ~id) in
+        t.submitted <- t.submitted + 1;
+        if outcome.Raid_core.Metrics.committed then t.committed <- t.committed + 1
+        else t.aborted <- t.aborted + 1;
+        true
+  in
+  try_from t.next_tenant n
 
 (* Cap the admission burst per tick so the HTTP server stays responsive
    even when the virtual clock is far behind the pacing target (or the
@@ -441,8 +541,17 @@ let summary (t : t) =
 let shutdown t =
   if not t.shut then begin
     t.stopping <- true;
-    Cluster.run_to_quiescence t.cluster;
-    Telemetry.sample_now t.reg ~at:(Engine.now (engine t));
+    Array.iter (fun tn -> Cluster.run_to_quiescence tn.tn_cluster) t.tenants;
+    (* Stamp the final sample at the most advanced tenant clock. *)
+    let at =
+      Array.fold_left
+        (fun acc tn ->
+          let n = Engine.now (Cluster.engine tn.tn_cluster) in
+          if Vtime.to_ms n > Vtime.to_ms acc then n else acc)
+        (Engine.now (Cluster.engine (cluster t)))
+        t.tenants
+    in
+    Telemetry.sample_now t.reg ~at;
     (* Answer anything already buffered, then stop listening. *)
     ignore (Http.poll ~timeout:0.0 t.server);
     Http.close_server t.server;

@@ -8,6 +8,17 @@
     operations surface of ROADMAP item 5 (cf. PlaceOS's cluster API):
     per-site status and load, kill-and-relaunch, live load adjustment.
 
+    {2 Multi-tenancy}
+
+    With [tenants > 1] the soak hosts that many fully independent
+    clusters (cf. {!Raid_multi}), admitting transactions round-robin so
+    the tenant virtual clocks advance together against one pacing
+    target.  Every telemetry series gains a [tenant] label, [/sites]
+    reports each tenant's sites with a [tenant] field, and [/txns]
+    latency histograms aggregate across tenants.  Operator fail/recover
+    actions address tenant 0.  A single-tenant soak is byte-compatible
+    with the pre-tenant behaviour: no extra labels or fields appear.
+
     {2 Pacing model}
 
     The engine's virtual clock only advances when events are processed,
@@ -52,6 +63,7 @@
       to uncap). *)
 
 type config = {
+  tenants : int;  (** independent clusters hosted side by side *)
   sites : int;
   items : int;
   max_ops : int;
@@ -66,6 +78,7 @@ type config = {
 }
 
 val make_config :
+  ?tenants:int ->
   ?sites:int ->
   ?items:int ->
   ?max_ops:int ->
@@ -79,11 +92,11 @@ val make_config :
   ?duration_s:float ->
   unit ->
   config
-(** Defaults: 16 sites, 500 items, txn <= 5 ops, P(write) 0.5, full
-    replication, uniform items, real time ([accel = 1.0]), 100 virtual
-    ms sampling, seed 42, ephemeral port, no duration bound.
-    @raise Invalid_argument on non-positive sizes, a negative [accel],
-    or a non-positive [duration_s]. *)
+(** Defaults: 1 tenant, 16 sites, 500 items, txn <= 5 ops, P(write)
+    0.5, full replication, uniform items, real time ([accel = 1.0]),
+    100 virtual ms sampling, seed 42, ephemeral port, no duration
+    bound.  @raise Invalid_argument on non-positive sizes, a negative
+    [accel], or a non-positive [duration_s]. *)
 
 type t
 
@@ -96,6 +109,9 @@ val port : t -> int
 (** The bound port (useful with [port = 0]). *)
 
 val cluster : t -> Raid_core.Cluster.t
+(** Tenant 0's cluster — the one operator fail/recover actions address.
+    With [tenants = 1] this is the whole soak. *)
+
 val registry : t -> Raid_obs.Telemetry.t
 
 val tick : ?timeout:float -> t -> unit

@@ -1,0 +1,72 @@
+(** One durable log shared by many tenants (erlang-ra's key design
+    point): every tenant cluster in a shard funnels its durable records —
+    redo entries, prepares, decisions, session bumps, checkpoints —
+    through a single append-only log, so a batch of tenants amortizes one
+    group commit instead of paying one fsync each.
+
+    Like {!Wal}, nothing touches the file system; the log simulates the
+    {e information flow} and the {e host-side cost} of a real device.
+    Records carry a tenant/site-prefixed header, accumulate in a pending
+    buffer, and are group-committed once [group_size] records are
+    pending (or on {!flush}): the commit pads the batch to a whole number
+    of [page_bytes] pages and checksums every byte of those pages — the
+    per-page work a real log pays on write-out.  A per-tenant-WAL
+    configuration is simply [group_size = 1]: every record pays a full
+    page, which is exactly the fsync-per-tenant cost the shared log
+    exists to avoid.
+
+    All counters and the rolling page digest are pure functions of the
+    record sequence, so two runs that feed the log identically produce
+    identical {!stats} — the property the multi-tenant determinism tests
+    pin down.  The log itself is not thread-safe; in a sharded engine
+    each domain owns its shard's log exclusively. *)
+
+type kind = Redo | Prepare | Decision | Session | Checkpoint | Forget
+(** What a record durably represents.  [Forget] covers dropping a
+    prepare or decision record (presumed-abort bookkeeping). *)
+
+type t
+(** A shard log. *)
+
+type handle
+(** A tenant+site-scoped writer: the only way to append.  Handles are
+    cheap; a site holds one and never sees the log of another shard. *)
+
+type stats = {
+  records : int;  (** records appended across all tenants *)
+  flushes : int;  (** group commits performed *)
+  pages : int;  (** padded pages written out by those commits *)
+  bytes_logged : int;  (** payload + header bytes, before padding *)
+  digest : int;  (** rolling checksum over every padded page written *)
+}
+
+val create : ?group_size:int -> ?page_bytes:int -> unit -> t
+(** A fresh shard log.  [group_size] (default 64) is the number of
+    pending records that triggers a group commit; [page_bytes]
+    (default 4096) the device page size commits are padded to.
+    @raise Invalid_argument if either is non-positive. *)
+
+val attach : t -> tenant:int -> site:int -> handle
+(** Scope a writer to one tenant's site. *)
+
+val tenant : handle -> int
+val site : handle -> int
+
+val record : handle -> kind -> size:int -> unit
+(** Append one record of [size] payload bytes under the handle's
+    tenant/site prefix; group-commits automatically when the pending
+    batch reaches [group_size].  @raise Invalid_argument on negative
+    [size]. *)
+
+val flush : t -> unit
+(** Force a group commit of any pending records (end-of-quantum or
+    shutdown barrier).  No-op when nothing is pending. *)
+
+val pending : t -> int
+(** Records appended but not yet group-committed. *)
+
+val stats : t -> stats
+(** Deterministic given the record sequence.  Call after a final
+    {!flush} if every record must be accounted to a page. *)
+
+val pp_stats : Format.formatter -> stats -> unit

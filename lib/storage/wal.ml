@@ -2,8 +2,18 @@ type entry = { txn : int; write : Database.write }
 
 type prepared = { p_txn : int; coordinator : int; writes : Database.write list }
 
+(* Simulated on-device footprint of each durable record, in bytes.  The
+   constants only have to be stable and plausible: they feed the shared
+   log's page accounting, not any protocol decision. *)
+let redo_bytes = 32  (* txn + item + value + version *)
+let marker_bytes = 8  (* decision / forget / session records: one txn id *)
+let prepare_base_bytes = 16  (* txn + coordinator *)
+let write_bytes = 24  (* item + value + version *)
+let item_image_bytes = 12  (* checkpoint image slot *)
+
 type t = {
   checkpoint_interval : int;
+  backing : Shared_wal.handle option;  (* shard log this WAL's records funnel into *)
   mutable checkpoint_image : (int * int) option array;  (* (value, version) or absent *)
   mutable log_rev : entry list;
   mutable log_length : int;
@@ -19,7 +29,10 @@ type t = {
   decided_tbl : (int, unit) Hashtbl.t;
 }
 
-let create ?(checkpoint_interval = 64) ?initial ~num_items () =
+let notify t kind ~size =
+  match t.backing with None -> () | Some h -> Shared_wal.record h kind ~size
+
+let create ?(checkpoint_interval = 64) ?backing ?initial ~num_items () =
   if checkpoint_interval <= 0 then invalid_arg "Wal.create: non-positive checkpoint interval";
   if num_items < 0 then invalid_arg "Wal.create: negative num_items";
   (match initial with
@@ -28,6 +41,7 @@ let create ?(checkpoint_interval = 64) ?initial ~num_items () =
   | Some _ | None -> ());
   {
     checkpoint_interval;
+    backing;
     (* The initial checkpoint must mirror the owner's real initial
        database: for a partial-replication site, an all-items image
        would make the first post-crash replay resurrect copies of items
@@ -47,7 +61,8 @@ let create ?(checkpoint_interval = 64) ?initial ~num_items () =
 
 let append t entry =
   t.log_rev <- entry :: t.log_rev;
-  t.log_length <- t.log_length + 1
+  t.log_length <- t.log_length + 1;
+  notify t Shared_wal.Redo ~size:redo_bytes
 
 let log_length t = t.log_length
 let entries t = List.rev t.log_rev
@@ -58,7 +73,8 @@ let checkpoint t db =
   t.checkpoint_image <- Database.snapshot db;
   t.log_rev <- [];
   t.log_length <- 0;
-  t.checkpoints_taken <- t.checkpoints_taken + 1
+  t.checkpoints_taken <- t.checkpoints_taken + 1;
+  notify t Shared_wal.Checkpoint ~size:(Database.num_items db * item_image_bytes)
 
 let maybe_checkpoint t db =
   if t.log_length >= t.checkpoint_interval then begin
@@ -85,18 +101,35 @@ let session t = t.session
 
 let record_session t session =
   if session <= t.session then invalid_arg "Wal.record_session: session numbers must increase";
-  t.session <- session
+  t.session <- session;
+  notify t Shared_wal.Session ~size:marker_bytes
 
 let log_prepare t ~txn ~coordinator writes =
-  Hashtbl.replace t.prepared_tbl txn { p_txn = txn; coordinator; writes }
+  Hashtbl.replace t.prepared_tbl txn { p_txn = txn; coordinator; writes };
+  notify t Shared_wal.Prepare ~size:(prepare_base_bytes + (write_bytes * List.length writes))
 
-let forget_prepare t ~txn = Hashtbl.remove t.prepared_tbl txn
+let forget_prepare t ~txn =
+  if Hashtbl.mem t.prepared_tbl txn then begin
+    Hashtbl.remove t.prepared_tbl txn;
+    notify t Shared_wal.Forget ~size:marker_bytes
+  end
 
 let prepared t =
   Hashtbl.fold (fun _ p acc -> p :: acc) t.prepared_tbl []
   |> List.sort (fun a b -> compare a.p_txn b.p_txn)
 
 let prepared_count t = Hashtbl.length t.prepared_tbl
-let log_decision t ~txn = Hashtbl.replace t.decided_tbl txn ()
-let forget_decision t ~txn = Hashtbl.remove t.decided_tbl txn
+
+let log_decision t ~txn =
+  if not (Hashtbl.mem t.decided_tbl txn) then begin
+    Hashtbl.replace t.decided_tbl txn ();
+    notify t Shared_wal.Decision ~size:marker_bytes
+  end
+
+let forget_decision t ~txn =
+  if Hashtbl.mem t.decided_tbl txn then begin
+    Hashtbl.remove t.decided_tbl txn;
+    notify t Shared_wal.Forget ~size:marker_bytes
+  end
+
 let decided_commit t ~txn = Hashtbl.mem t.decided_tbl txn

@@ -24,13 +24,26 @@ type prepared = { p_txn : int; coordinator : int; writes : Database.write list }
 
 type t
 
-val create : ?checkpoint_interval:int -> ?initial:Database.t -> num_items:int -> unit -> t
+val create :
+  ?checkpoint_interval:int ->
+  ?backing:Shared_wal.handle ->
+  ?initial:Database.t ->
+  num_items:int ->
+  unit ->
+  t
 (** A fresh store whose checkpoint is the owner's initial database:
     [initial] when given (a partial-replication site must pass its own
     database, or the first post-crash replay resurrects phantom copies
     of items it never stored), otherwise all items at (value 0,
     version 0).  [checkpoint_interval] (default 64) is the number of
     appended entries after which {!maybe_checkpoint} compacts.
+
+    When [backing] is given, every durable mutation (redo append,
+    prepare, decision, session bump, checkpoint, forget) additionally
+    emits a tenant-prefixed record into that {!Shared_wal} shard log —
+    the multi-tenant engine's group-commit path.  The WAL's own contents
+    and recovery semantics are unchanged; the backing only accounts the
+    durable byte stream.
     @raise Invalid_argument on non-positive interval, negative
     [num_items], or an [initial] of a different shape. *)
 

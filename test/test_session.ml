@@ -112,9 +112,31 @@ let test_search_helpers () =
     "first none" None
     (Session.first_operational v (fun s -> s = 0))
 
+(* The sparse representation stores only entries that differ from the
+   default {session 1, Up}; [diverged] counts them.  The table must stay
+   canonical: returning a site to the default state removes its entry,
+   so copy/equal stay O(diverged) on mostly-healthy large vectors. *)
+let test_sparse_canonical () =
+  let v = Session.create ~num_sites:1024 in
+  Alcotest.(check int) "fresh vector stores nothing" 0 (Session.diverged v);
+  Session.mark_down v 17;
+  Session.mark_waiting v 99 ~session:2;
+  Alcotest.(check int) "two overrides" 2 (Session.diverged v);
+  Session.mark_up v 17 ~session:1;
+  Alcotest.(check int) "back to default drops the entry" 1 (Session.diverged v);
+  Session.mark_up v 99 ~session:2;
+  Alcotest.(check int) "non-default session stays" 1 (Session.diverged v);
+  Alcotest.(check int) "up count full" 1024 (Session.up_count v);
+  let c = Session.copy v in
+  Alcotest.(check int) "copy carries overrides" 1 (Session.diverged c);
+  Alcotest.(check bool) "copy equal" true (Session.equal v c);
+  Session.install c ~from:(Session.create ~num_sites:1024);
+  Alcotest.(check int) "install of default clears" 0 (Session.diverged c)
+
 let suite =
   [
     Alcotest.test_case "initial vector" `Quick test_initial;
+    Alcotest.test_case "sparse table stays canonical" `Quick test_sparse_canonical;
     Alcotest.test_case "state transitions" `Quick test_transitions;
     Alcotest.test_case "operational_except" `Quick test_operational_except;
     Alcotest.test_case "iterators match lists" `Quick test_iterators_match_lists;
