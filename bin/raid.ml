@@ -418,6 +418,149 @@ let metrics_cmd =
           sampled series (Prometheus text or long-form CSV).")
     Term.(const run $ list $ scenario_name $ sample $ format $ out $ seed $ jobs)
 
+(* `raid explain` — the span-tree view of one transaction: where its
+   latency went, blamed site by site along the critical path. *)
+let explain_cmd =
+  let scenario_doc =
+    String.concat "; "
+      (List.map
+         (fun (name, description) -> Printf.sprintf "$(b,%s): %s" name description)
+         Raid_sim.Monitor.scenarios)
+  in
+  let scenario_name =
+    Arg.(
+      value & opt string "exp1"
+      & info [ "scenario" ] ~docv:"SCENARIO" ~doc:("Scenario to trace. " ^ scenario_doc ^ "."))
+  in
+  let txn =
+    Arg.(
+      value & opt (some int) None
+      & info [ "txn" ] ~docv:"ID"
+          ~doc:
+            "Transaction to explain (default: the slowest complete committed transaction of \
+             the run).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the span tree and critical path as JSON instead of the text rendering.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
+  in
+  let run scenario_name txn json seed jobs =
+    set_jobs jobs;
+    match Raid_sim.Monitor.scenario_of_name ?seed scenario_name with
+    | Error message ->
+      prerr_endline ("raid explain: " ^ message);
+      exit 2
+    | Ok scenario ->
+      (* Span assembly needs the whole stream: a wrapped ring loses the
+         oldest transactions' begins, so give the collector the same
+         headroom the trace summary gets. *)
+      let output = Raid_sim.Tracing.run ~capacity:(1 lsl 20) scenario in
+      let dropped = Raid_obs.Trace.dropped output.Raid_sim.Tracing.trace in
+      if dropped > 0 then
+        Printf.eprintf
+          "raid explain: dropped %d trace entries; the oldest transactions are incomplete\n%!"
+          dropped;
+      let trees = Raid_sim.Tracing.spans output in
+      let tree =
+        match txn with
+        | Some id -> (
+          match Raid_obs.Span.find trees id with
+          | Some tree -> tree
+          | None ->
+            Printf.eprintf "raid explain: no transaction %d in scenario %s (%d traced)\n" id
+              scenario_name (List.length trees);
+            exit 2)
+        | None -> (
+          match Raid_obs.Span.slowest trees with
+          | Some tree -> tree
+          | None ->
+            prerr_endline "raid explain: the scenario traced no transactions";
+            exit 2)
+      in
+      if json then print_endline (Raid_obs.Json.to_string (Raid_obs.Span.json tree))
+      else print_string (Raid_obs.Span.render tree)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Trace a scenario and explain one transaction: its causal span tree (phases, copier \
+          fetches, votes) and the critical path through it, each step blamed on the site that \
+          spent the time.")
+    Term.(const run $ scenario_name $ txn $ json $ seed $ jobs)
+
+(* `raid incidents` — per-(site, episode) recovery timelines. *)
+let incidents_cmd =
+  let scenario_doc =
+    String.concat "; "
+      (List.map
+         (fun (name, description) -> Printf.sprintf "$(b,%s): %s" name description)
+         Raid_sim.Monitor.scenarios)
+  in
+  let scenario_name =
+    Arg.(
+      value & opt string "exp1"
+      & info [ "scenario" ] ~docv:"SCENARIO" ~doc:("Scenario to run. " ^ scenario_doc ^ "."))
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit one CSV row per incident (durations in milliseconds) instead of the human \
+             summary; byte-identical for any $(b,-j).")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Override the scenario's default seed.")
+  in
+  let run scenario_name csv out seed jobs =
+    set_jobs jobs;
+    match Raid_sim.Monitor.scenario_of_name ?seed scenario_name with
+    | Error message ->
+      prerr_endline ("raid incidents: " ^ message);
+      exit 2
+    | Ok scenario ->
+      let output = Raid_sim.Tracing.run ~capacity:(1 lsl 20) scenario in
+      let dropped = Raid_obs.Trace.dropped output.Raid_sim.Tracing.trace in
+      if dropped > 0 then
+        Printf.eprintf
+          "raid incidents: dropped %d trace entries; the oldest incidents are incomplete\n%!"
+          dropped;
+      let incidents = Raid_sim.Tracing.incidents output in
+      let rendered =
+        if csv then Raid_obs.Incident.to_csv incidents
+        else if incidents = [] then "no site failures in this scenario\n"
+        else
+          String.concat ""
+            (List.map (fun i -> Raid_obs.Incident.describe i ^ "\n") incidents)
+      in
+      (match out with
+      | None -> print_string rendered
+      | Some path ->
+        Raid_sim.Export.write_file ~path rendered;
+        Printf.printf "incidents written to %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "incidents"
+       ~doc:
+         "Run a scenario and report every site-failure incident as a recovery timeline: \
+          outage, WAL replay, in-doubt resolution, state install and fail-lock drain phases \
+          that partition crash to caught-up exactly.")
+    Term.(const run $ scenario_name $ csv $ out $ seed $ jobs)
+
 (* `raid throughput` — steady-state load on a configurable cluster. *)
 let throughput_cmd =
   let sites =
@@ -801,7 +944,16 @@ let crashmatrix_cmd =
       & info [ "points" ] ~docv:"P1,P2,.."
           ~doc:"Comma-separated crash-point names to run (default: all; see $(b,--list)).")
   in
-  let run list smoke csv seeds sizes points jobs =
+  let incidents =
+    Arg.(
+      value & opt (some string) None
+      & info [ "incidents" ] ~docv:"FILE"
+          ~doc:
+            "Also write every recovery incident the cells recorded as CSV to $(docv), one row \
+             per (site, episode) prefixed with the cell coordinates; byte-identical for any \
+             $(b,-j).")
+  in
+  let run list smoke csv incidents seeds sizes points jobs =
     set_jobs jobs;
     if list then
       List.iter
@@ -833,6 +985,11 @@ let crashmatrix_cmd =
         Printf.printf "%d cells, %d failed\n" summary.Crashmatrix.cells
           summary.Crashmatrix.failed_cells
       end;
+      (match incidents with
+      | None -> ()
+      | Some path ->
+        Raid_sim.Export.write_file ~path (Crashmatrix.incidents_csv summary);
+        if not csv then Printf.printf "incident timelines written to %s\n" path);
       if not (Crashmatrix.ok summary) then exit 1
     end
   in
@@ -842,7 +999,7 @@ let crashmatrix_cmd =
          "Crash a site at every distinct point of the 2PC/copier/fail-lock state machine, \
           replay its WAL, resolve in-doubt transactions and assert the protocol invariants; \
           non-zero exit on any violation.")
-    Term.(const run $ list $ smoke $ csv $ seeds $ sizes $ points $ jobs)
+    Term.(const run $ list $ smoke $ csv $ incidents $ seeds $ sizes $ points $ jobs)
 
 let repl_cmd =
   let sites = Arg.(value & opt int 4 & info [ "sites" ] ~docv:"N" ~doc:"Number of sites.") in
@@ -976,6 +1133,8 @@ let main_cmd =
       scenario_cmd;
       trace_cmd;
       metrics_cmd;
+      explain_cmd;
+      incidents_cmd;
       throughput_cmd;
       concurrency_cmd;
       multi_cmd;

@@ -55,6 +55,7 @@ type t = {
   config : Config.t;
   detection : detection;
   engine : Message.t Engine.t;
+  obs : Raid_obs.Trace.sink option;
   sites : Site.t array;
   metrics : Metrics.t;
   mutable outcomes_rev : Metrics.outcome list;
@@ -243,6 +244,7 @@ let of_spec (spec : Spec.t) =
       config;
       detection;
       engine;
+      obs;
       sites;
       metrics;
       outcomes_rev = [];
@@ -340,6 +342,12 @@ let detect_knowledge_loss t ~dying =
 let crash_site_now t i =
   if alive t i then begin
     Engine.set_alive t.engine i false;
+    (* Crashes happen outside any handler, so the site's own tracing
+       (which needs an engine context) can't record them; the incident
+       timeline's opening marker is emitted here instead. *)
+    (match t.obs with
+    | None -> ()
+    | Some sink -> sink.Raid_obs.Trace.emit ~at:(Engine.now t.engine) ~site:i Raid_obs.Trace.Site_failed);
     Site.on_crash ~now:(Engine.now t.engine) (site t i);
     detect_knowledge_loss t ~dying:i
   end

@@ -111,6 +111,10 @@ type t = {
       (* the handler context of the event being processed, so the
          fail-lock and session-vector change hooks can stamp their trace
          events; only maintained when [obs] is set *)
+  mutable faillock_txn : int option;
+      (* the transaction (or negative copier round) whose commit/install
+         is currently mutating the fail-lock table, so the change hook
+         can attribute the transition; only maintained when [obs] is set *)
 }
 
 (* Current virtual time for hook-driven emissions.  Hooks can only fire
@@ -156,6 +160,7 @@ let create ~id ~config ~metrics ~on_outcome ?obs ?wal_factory () =
     batch_seq = 0;
     obs;
     obs_ctx = None;
+    faillock_txn = None;
   }
   in
   (* Fail-lock and session-vector changes are traced via change hooks on
@@ -169,8 +174,8 @@ let create ~id ~config ~metrics ~on_outcome ?obs ?wal_factory () =
       (Some
          (fun ~item ~site ~locked ->
            let event =
-             if locked then Obs.Faillock_set { item; for_site = site }
-             else Obs.Faillock_cleared { item; for_site = site }
+             if locked then Obs.Faillock_set { item; for_site = site; txn = t.faillock_txn }
+             else Obs.Faillock_cleared { item; for_site = site; txn = t.faillock_txn }
            in
            sink.Obs.emit ~at:(obs_now t) ~site:t.id event));
     Session.set_hook t.vector
@@ -381,8 +386,9 @@ let broadcast_clears t ctx items =
      commit reaches only the holders of the written items, but witnesses
      and holders of *other* items this site shares a group with are not
      participants and would keep the stale bit forever. *)
-let faillock_commit_update ?(witness = false) t ctx writes =
+let faillock_commit_update ?(witness = false) t ctx ~txn writes =
   if faillocks_on t then begin
+    if tracing t then t.faillock_txn <- Some txn;
     let set_count = ref 0 and cleared = ref 0 in
     let self_cleared = ref [] in
     List.iter
@@ -400,6 +406,7 @@ let faillock_commit_update ?(witness = false) t ctx writes =
                 ~set:set_count ~cleared)
         end)
       writes;
+    t.faillock_txn <- None;
     t.metrics.Metrics.faillocks_set <- t.metrics.Metrics.faillocks_set + !set_count;
     t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + !cleared;
     broadcast_clears t ctx (List.rev !self_cleared)
@@ -431,6 +438,8 @@ let apply_writes t ctx ~txn writes =
    committed after the request was issued).  Clears this site's own
    fail-lock bits; returns the items whose bit was actually cleared. *)
 let install_refreshed t ctx ~round writes =
+  if tracing t then t.faillock_txn <- Some round;
+  let cleared =
   List.filter_map
     (fun ({ Database.item; version; _ } as write) ->
       let stale =
@@ -448,6 +457,9 @@ let install_refreshed t ctx ~round writes =
       end
       else None)
     writes
+  in
+  t.faillock_txn <- None;
+  cleared
 
 (* {2 Two-step recovery (paper §3.2 extension)} *)
 
@@ -621,7 +633,7 @@ let local_commit t ctx coord =
     | Some _ | None -> ())
   | Copying _ | Preparing _ -> ());
   apply_writes t ctx ~txn:coord.txn.Txn.id coord.writes;
-  faillock_commit_update ~witness:true t ctx coord.writes;
+  faillock_commit_update ~witness:true t ctx ~txn:coord.txn.Txn.id coord.writes;
   let reads = collect_reads t coord in
   finish t ctx coord ~committed:true ~abort_reason:None ~reads;
   maybe_spawn_backups t ctx coord.writes;
@@ -691,6 +703,17 @@ let begin_txn t ctx txn =
     invalid_arg "Site: duplicate transaction id"
   end;
   let started_at = Engine.time ctx in
+  (* Emitted at [started_at], before any modelled setup work, so the root
+     span's duration is exactly the latency [finish] measures and the
+     txn-latency histograms observe. *)
+  if tracing t then
+    emit t ctx
+      (Obs.Txn_begin
+         {
+           txn = txn.Txn.id;
+           reads = List.length (Txn.read_items txn);
+           writes = List.length (Txn.write_items txn);
+         });
   Engine.work ctx t.cost.Cost_model.txn_setup;
   Engine.work ctx (Txn.size txn * t.cost.Cost_model.op_process);
   let read_ops =
@@ -717,14 +740,6 @@ let begin_txn t ctx txn =
     }
   in
   Hashtbl.replace t.coords txn.Txn.id coord;
-  if tracing t then
-    emit t ctx
-      (Obs.Txn_begin
-         {
-           txn = txn.Txn.id;
-           reads = List.length (Txn.read_items txn);
-           writes = List.length writes;
-         });
   (* Under partial replication a written item must have at least one
      operational holder, or the update would be installed nowhere. *)
   let write_unavailable =
@@ -919,16 +934,18 @@ let retry_copy_sources t ctx coord c ~failed ~items =
       end
     done
 
-let apply_embedded_clears t ~coordinator items =
+let apply_embedded_clears t ~coordinator ~txn items =
+  if tracing t then t.faillock_txn <- Some txn;
   let cleared =
     List.fold_left
       (fun acc item -> acc + Faillock.clear_sites t.faillocks ~item ~sites:[ coordinator ])
       0 items
   in
+  t.faillock_txn <- None;
   t.metrics.Metrics.faillocks_cleared <- t.metrics.Metrics.faillocks_cleared + cleared
 
 let handle_prepare t ctx ~txn ~writes ~cleared ~src =
-  apply_embedded_clears t ~coordinator:src cleared;
+  apply_embedded_clears t ~coordinator:src ~txn cleared;
   Hashtbl.replace t.pending_prepares txn { pp_writes = writes; pp_coord = src; pp_outstanding = 0 };
   (* Log the prepare before voting yes: a crash between the vote and the
      decision must leave enough on stable storage to apply (or resolve)
@@ -951,7 +968,7 @@ let handle_commit t ctx ~txn ~src =
        local commit work (see Cost_model calibration notes). *)
     Engine.send ctx src (Message.Commit_ack { txn });
     apply_writes t ctx ~txn writes;
-    faillock_commit_update t ctx writes;
+    faillock_commit_update t ctx ~txn writes;
     (match Hashtbl.find_opt t.participant_started txn with
     | Some started ->
       Hashtbl.remove t.participant_started txn;
@@ -1023,19 +1040,28 @@ let send_announcements t ctx ~new_session ~designated ~others =
      sites); the designated donor's goes out last so every announcement is
      on the critical path of the recovery, as in the paper's timing. *)
   List.iter (announce false) others;
-  announce true designated
+  announce true designated;
+  (* The resolve phase of the incident timeline ends when the recovery is
+     announced (all in-doubt prepares have verdicts by this point). *)
+  if tracing t then emit t ctx (Obs.Recovery_step { step = Obs.Announced new_session })
 
 let begin_recovery t ctx =
   on_crash ~now:(Engine.time ctx) t;
+  (* The outage phase of the site's incident timeline ends here: the
+     operator's recover command has reached the site. *)
+  if tracing t then emit t ctx (Obs.Recovery_step { step = Obs.Recover_command });
   (* Durability extension: rebuild the database from stable storage and
      take the next session number from it (session numbers must be
      monotone across crashes even if the vector were lost). *)
   let new_session =
     match t.stable with
-    | None -> Session.session t.vector t.id + 1
+    | None ->
+      if tracing t then emit t ctx (Obs.Recovery_step { step = Obs.Wal_replayed 0 });
+      Session.session t.vector t.id + 1
     | Some wal ->
       let replayed = Wal.replay_into wal t.db in
       Engine.work ctx (replayed * t.cost.Cost_model.wal_replay_per_entry);
+      if tracing t then emit t ctx (Obs.Recovery_step { step = Obs.Wal_replayed replayed });
       let session = Wal.session wal + 1 in
       Wal.record_session wal session;
       session
@@ -1069,7 +1095,11 @@ let begin_recovery t ctx =
     List.iter (fun txn -> forget_in_doubt t ~txn) doomed;
     Session.mark_up t.vector t.id ~session:new_session;
     t.mode <- Normal;
-    t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1
+    t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1;
+    if tracing t then begin
+      emit t ctx (Obs.Recovery_step { step = Obs.Announced new_session });
+      emit t ctx (Obs.Recovery_step { step = Obs.State_installed })
+    end
   | designated :: _ ->
     let in_doubt =
       List.sort compare
@@ -1201,8 +1231,10 @@ let handle_recovery_state t ctx ~vector ~faillocks ~backups =
     t.metrics.Metrics.control1_completed <- t.metrics.Metrics.control1_completed + 1;
     t.metrics.Metrics.control1_recovering_ms <-
       ms_of (Vtime.sub (Engine.time ctx) started_at) :: t.metrics.Metrics.control1_recovering_ms;
-    if tracing t then
-      emit t ctx (Obs.Control { kind = Obs.Recovery; detail = "state installed" });
+    if tracing t then begin
+      emit t ctx (Obs.Recovery_step { step = Obs.State_installed });
+      emit t ctx (Obs.Control { kind = Obs.Recovery; detail = "state installed" })
+    end;
     (* The donor's vector predates any failures we witnessed while
        waiting (e.g. a dead designated donor): re-apply them through
        control transaction type 2. *)
@@ -1482,7 +1514,7 @@ let handle_message t ctx ~src payload =
   | Message.Commit { txn } -> handle_commit t ctx ~txn ~src
   | Message.Commit_ack { txn } -> handle_commit_ack t ctx ~txn ~src
   | Message.Abort { txn; cleared } ->
-    apply_embedded_clears t ~coordinator:src cleared;
+    apply_embedded_clears t ~coordinator:src ~txn cleared;
     if Hashtbl.mem t.pending_prepares txn then begin
       forget_in_doubt t ~txn;
       resolution_step t ctx

@@ -1,0 +1,325 @@
+module Vtime = Raid_net.Vtime
+
+type phase = Outage | Replay | Resolve | Install | Drain
+
+let all_phases = [ Outage; Replay; Resolve; Install; Drain ]
+
+let phase_name = function
+  | Outage -> "outage"
+  | Replay -> "replay"
+  | Resolve -> "resolve"
+  | Install -> "install"
+  | Drain -> "drain"
+
+type t = {
+  site : int;
+  episode : int;
+  started : Vtime.t;
+  finished : Vtime.t;
+  phases : (phase * Vtime.t * Vtime.t) list;
+  complete : bool;
+  wal_entries : int;
+  faillocks_accrued : int;
+  faillocks_peak : int;
+  faillock_txns : int;
+}
+
+let duration t = Vtime.sub t.finished t.started
+
+let mttr t = if t.complete then Some (duration t) else None
+
+let phase_duration t phase =
+  List.fold_left
+    (fun acc (p, from_, until) -> if p = phase then Vtime.add acc (Vtime.sub until from_) else acc)
+    Vtime.zero t.phases
+
+let dominant t =
+  match t.phases with
+  | [] -> None
+  | phases ->
+    let best, best_len =
+      List.fold_left
+        (fun (best, best_len) (p, from_, until) ->
+          let len = Vtime.sub until from_ in
+          if len > best_len then (Some p, len) else (best, best_len))
+        (None, -1) phases
+    in
+    if best_len <= 0 then None else best
+
+(* {2 Streaming assembly}
+
+   One pass over the trace stream.  The fail-lock ledger is global: an
+   episode's drain end is the moment the outstanding (table-site, item)
+   set for the recovering site goes empty at-or-after state install, and
+   set/clear hooks fire only on true bit transitions, so counting is
+   exact. *)
+
+type open_incident = {
+  oi_site : int;
+  oi_episode : int;
+  oi_started : Vtime.t;
+  mutable oi_saw_down : bool;
+  mutable oi_recover_at : Vtime.t option;
+  mutable oi_replayed_at : Vtime.t option;
+  mutable oi_wal_entries : int;
+  mutable oi_announced_at : Vtime.t option;
+  mutable oi_installed_at : Vtime.t option;
+  mutable oi_accrued : int;
+  mutable oi_peak : int;
+  oi_txns : (int, unit) Hashtbl.t;
+}
+
+type recorder = {
+  on_complete : (t -> unit) option;
+  open_incidents : (int, open_incident) Hashtbl.t;  (* by recovering site *)
+  episodes : (int, int) Hashtbl.t;  (* next episode number per site *)
+  outstanding : (int * int * int, unit) Hashtbl.t;  (* table site, item, for_site *)
+  outstanding_for : (int, int) Hashtbl.t;  (* per target site count *)
+  mutable closed_rev : t list;
+}
+
+let recorder ?on_complete () =
+  {
+    on_complete;
+    open_incidents = Hashtbl.create 8;
+    episodes = Hashtbl.create 8;
+    outstanding = Hashtbl.create 64;
+    outstanding_for = Hashtbl.create 8;
+    closed_rev = [];
+  }
+
+let outstanding_count r site =
+  Option.value ~default:0 (Hashtbl.find_opt r.outstanding_for site)
+
+(* Telescoping boundaries: each phase ends at its marker event when one
+   was observed, else collapses to zero length at the previous boundary
+   — so the phases always tile [started, finished] exactly, including on
+   truncated (incomplete) episodes. *)
+let close r oi ~finished ~complete =
+  let b0 = oi.oi_started in
+  let bound prev = function None -> prev | Some at -> max prev at in
+  let b1 = bound b0 oi.oi_recover_at in
+  let b2 = bound b1 oi.oi_replayed_at in
+  let b3 = bound b2 oi.oi_announced_at in
+  let b4 = bound b3 oi.oi_installed_at in
+  let b5 = max b4 finished in
+  let incident =
+    {
+      site = oi.oi_site;
+      episode = oi.oi_episode;
+      started = b0;
+      finished = b5;
+      phases =
+        [ (Outage, b0, b1); (Replay, b1, b2); (Resolve, b2, b3); (Install, b3, b4);
+          (Drain, b4, b5) ];
+      complete = complete && oi.oi_saw_down;
+      wal_entries = oi.oi_wal_entries;
+      faillocks_accrued = oi.oi_accrued;
+      faillocks_peak = oi.oi_peak;
+      faillock_txns = Hashtbl.length oi.oi_txns;
+    }
+  in
+  Hashtbl.remove r.open_incidents oi.oi_site;
+  r.closed_rev <- incident :: r.closed_rev;
+  if incident.complete then Option.iter (fun f -> f incident) r.on_complete
+
+let open_incident r ~site ~at ~saw_down =
+  let episode = Option.value ~default:0 (Hashtbl.find_opt r.episodes site) in
+  Hashtbl.replace r.episodes site (episode + 1);
+  let oi =
+    {
+      oi_site = site;
+      oi_episode = episode;
+      oi_started = at;
+      oi_saw_down = saw_down;
+      oi_recover_at = None;
+      oi_replayed_at = None;
+      oi_wal_entries = 0;
+      oi_announced_at = None;
+      oi_installed_at = None;
+      oi_accrued = 0;
+      oi_peak = 0;
+      oi_txns = Hashtbl.create 4;
+    }
+  in
+  Hashtbl.replace r.open_incidents site oi;
+  oi
+
+(* A recover command with no observed crash (trace started late, or a
+   duplicate recover) still yields a timeline, flagged incomplete. *)
+let current r ~site ~at =
+  match Hashtbl.find_opt r.open_incidents site with
+  | Some oi -> oi
+  | None -> open_incident r ~site ~at ~saw_down:false
+
+let maybe_caught_up r ~site ~at =
+  match Hashtbl.find_opt r.open_incidents site with
+  | Some oi when oi.oi_installed_at <> None && outstanding_count r site = 0 ->
+    close r oi ~finished:(max at (Option.get oi.oi_installed_at)) ~complete:true
+  | _ -> ()
+
+let observe r ~at ~site (event : Trace.event) =
+  match event with
+  | Trace.Site_failed -> begin
+    (match Hashtbl.find_opt r.open_incidents site with
+    | Some oi ->
+      (* Flapped mid-recovery: the interrupted episode closes truncated
+         and a fresh one opens at the new crash. *)
+      let finished =
+        let bound prev = function None -> prev | Some v -> max prev v in
+        bound
+          (bound (bound (bound oi.oi_started oi.oi_recover_at) oi.oi_replayed_at)
+             oi.oi_announced_at)
+          oi.oi_installed_at
+      in
+      close r oi ~finished ~complete:false
+    | None -> ());
+    ignore (open_incident r ~site ~at ~saw_down:true)
+  end
+  | Trace.Recovery_step { step } -> begin
+    let oi = current r ~site ~at in
+    (match step with
+    | Trace.Recover_command -> if oi.oi_recover_at = None then oi.oi_recover_at <- Some at
+    | Trace.Wal_replayed entries ->
+      if oi.oi_replayed_at = None then oi.oi_replayed_at <- Some at;
+      oi.oi_wal_entries <- oi.oi_wal_entries + entries
+    | Trace.Announced _ -> if oi.oi_announced_at = None then oi.oi_announced_at <- Some at
+    | Trace.State_installed -> if oi.oi_installed_at = None then oi.oi_installed_at <- Some at);
+    match step with Trace.State_installed -> maybe_caught_up r ~site ~at | _ -> ()
+  end
+  | Trace.Faillock_set { item; for_site; txn } ->
+    if not (Hashtbl.mem r.outstanding (site, item, for_site)) then begin
+      Hashtbl.replace r.outstanding (site, item, for_site) ();
+      let count = outstanding_count r for_site + 1 in
+      Hashtbl.replace r.outstanding_for for_site count;
+      match Hashtbl.find_opt r.open_incidents for_site with
+      | Some oi ->
+        oi.oi_accrued <- oi.oi_accrued + 1;
+        if count > oi.oi_peak then oi.oi_peak <- count;
+        Option.iter (fun id -> Hashtbl.replace oi.oi_txns id ()) txn
+      | None -> ()
+    end
+  | Trace.Faillock_cleared { item; for_site; _ } ->
+    if Hashtbl.mem r.outstanding (site, item, for_site) then begin
+      Hashtbl.remove r.outstanding (site, item, for_site);
+      Hashtbl.replace r.outstanding_for for_site (outstanding_count r for_site - 1);
+      maybe_caught_up r ~site:for_site ~at
+    end
+  | _ -> ()
+
+let recorder_sink r = { Trace.emit = (fun ~at ~site event -> observe r ~at ~site event) }
+
+let order = List.sort (fun a b -> compare (a.started, a.site, a.episode) (b.started, b.site, b.episode))
+
+let incidents r =
+  let open_ones =
+    Hashtbl.fold
+      (fun _ oi acc ->
+        (* Snapshot the in-flight episode as a truncated timeline without
+           disturbing the recorder (the soak keeps feeding it). *)
+        let bound prev = function None -> prev | Some v -> max prev v in
+        let b1 = bound oi.oi_started oi.oi_recover_at in
+        let b2 = bound b1 oi.oi_replayed_at in
+        let b3 = bound b2 oi.oi_announced_at in
+        let b4 = bound b3 oi.oi_installed_at in
+        {
+          site = oi.oi_site;
+          episode = oi.oi_episode;
+          started = oi.oi_started;
+          finished = b4;
+          phases =
+            [ (Outage, oi.oi_started, b1); (Replay, b1, b2); (Resolve, b2, b3);
+              (Install, b3, b4); (Drain, b4, b4) ];
+          complete = false;
+          wal_entries = oi.oi_wal_entries;
+          faillocks_accrued = oi.oi_accrued;
+          faillocks_peak = oi.oi_peak;
+          faillock_txns = Hashtbl.length oi.oi_txns;
+        }
+        :: acc)
+      r.open_incidents []
+  in
+  order (List.rev_append r.closed_rev open_ones)
+
+let assemble entries =
+  let r = recorder () in
+  List.iter (fun (e : Trace.entry) -> observe r ~at:e.Trace.at ~site:e.Trace.site e.Trace.event)
+    entries;
+  incidents r
+
+(* {2 Rendering} *)
+
+let to_ms v = Vtime.to_ms v
+
+let csv_header =
+  "site,episode,started_ms,outage_ms,replay_ms,resolve_ms,install_ms,drain_ms,mttr_ms,complete,dominant,wal_entries,faillocks_accrued,faillocks_peak,faillock_txns"
+
+let csv_row t =
+  Printf.sprintf "%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%s,%b,%s,%d,%d,%d,%d" t.site t.episode
+    (to_ms t.started)
+    (to_ms (phase_duration t Outage))
+    (to_ms (phase_duration t Replay))
+    (to_ms (phase_duration t Resolve))
+    (to_ms (phase_duration t Install))
+    (to_ms (phase_duration t Drain))
+    (match mttr t with None -> "" | Some d -> Printf.sprintf "%.3f" (to_ms d))
+    t.complete
+    (match dominant t with None -> "" | Some p -> phase_name p)
+    t.wal_entries t.faillocks_accrued t.faillocks_peak t.faillock_txns
+
+let to_csv incidents =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer csv_header;
+  Buffer.add_char buffer '\n';
+  List.iter
+    (fun t ->
+      Buffer.add_string buffer (csv_row t);
+      Buffer.add_char buffer '\n')
+    incidents;
+  Buffer.contents buffer
+
+let json t =
+  Json.Obj
+    [
+      ("site", Json.Int t.site);
+      ("episode", Json.Int t.episode);
+      ("started_ms", Json.Float (to_ms t.started));
+      ("finished_ms", Json.Float (to_ms t.finished));
+      ("complete", Json.Bool t.complete);
+      ( "mttr_ms",
+        match mttr t with None -> Json.Null | Some d -> Json.Float (to_ms d) );
+      ( "dominant",
+        match dominant t with None -> Json.Null | Some p -> Json.Str (phase_name p) );
+      ( "phases",
+        Json.Arr
+          (List.map
+             (fun (p, from_, until) ->
+               Json.Obj
+                 [
+                   ("phase", Json.Str (phase_name p));
+                   ("from_ms", Json.Float (to_ms from_));
+                   ("until_ms", Json.Float (to_ms until));
+                   ("duration_ms", Json.Float (to_ms (Vtime.sub until from_)));
+                 ])
+             t.phases) );
+      ("wal_entries", Json.Int t.wal_entries);
+      ("faillocks_accrued", Json.Int t.faillocks_accrued);
+      ("faillocks_peak", Json.Int t.faillocks_peak);
+      ("faillock_txns", Json.Int t.faillock_txns);
+    ]
+
+let describe t =
+  Printf.sprintf "site %d #%d: %s %s, %d fail-locks (peak %d, %d txns), %d wal entries%s" t.site
+    t.episode
+    (match mttr t with
+    | Some d -> Printf.sprintf "recovered in %.2f ms" (to_ms d)
+    | None -> Printf.sprintf "incomplete after %.2f ms" (to_ms (duration t)))
+    (String.concat " "
+       (List.map
+          (fun (p, from_, until) ->
+            Printf.sprintf "%s=%.2f" (phase_name p) (to_ms (Vtime.sub until from_)))
+          t.phases))
+    t.faillocks_accrued t.faillocks_peak t.faillock_txns t.wal_entries
+    (match dominant t with
+    | None -> ""
+    | Some p -> Printf.sprintf ", dominated by %s" (phase_name p))

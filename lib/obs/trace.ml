@@ -4,6 +4,12 @@ type phase = Copy | Prepare | Commit
 
 type control_kind = Recovery | Failure_announce | Backup | Clear_special
 
+type recovery_step =
+  | Recover_command
+  | Wal_replayed of int
+  | Announced of int
+  | State_installed
+
 type event =
   | Txn_begin of { txn : int; reads : int; writes : int }
   | Txn_read of { txn : int; item : int; remote : bool }
@@ -14,9 +20,11 @@ type event =
   | Prepare_sent of { txn : int; participants : int }
   | Vote of { txn : int; participant : int }
   | Decide of { txn : int; commit : bool }
-  | Faillock_set of { item : int; for_site : int }
-  | Faillock_cleared of { item : int; for_site : int }
+  | Faillock_set of { item : int; for_site : int; txn : int option }
+  | Faillock_cleared of { item : int; for_site : int; txn : int option }
   | Session_change of { about : int; session : int; state : string }
+  | Site_failed
+  | Recovery_step of { step : recovery_step }
   | Control of { kind : control_kind; detail : string }
   | Copier_request of { txn : int; source : int; items : int }
   | Copier_reply of { txn : int; source : int; items : int }
@@ -43,6 +51,12 @@ let sink t =
         t.emitted <- t.emitted + 1);
   }
 
+let tee sinks =
+  match sinks with
+  | [ sink ] -> sink
+  | _ ->
+    { emit = (fun ~at ~site event -> List.iter (fun s -> s.emit ~at ~site event) sinks) }
+
 let emitted t = t.emitted
 let dropped t = max 0 (t.emitted - t.capacity)
 let capacity t = t.capacity
@@ -60,6 +74,12 @@ let clear t =
   t.emitted <- 0
 
 let phase_name = function Copy -> "copy" | Prepare -> "prepare" | Commit -> "commit"
+
+let recovery_step_name = function
+  | Recover_command -> "recover_command"
+  | Wal_replayed _ -> "wal_replayed"
+  | Announced _ -> "announced"
+  | State_installed -> "state_installed"
 
 let control_kind_name = function
   | Recovery -> "control1-recovery"
@@ -80,6 +100,8 @@ let kind = function
   | Faillock_set _ -> "faillock_set"
   | Faillock_cleared _ -> "faillock_cleared"
   | Session_change _ -> "session_change"
+  | Site_failed -> "site_failed"
+  | Recovery_step _ -> "recovery_step"
   | Control _ -> "control"
   | Copier_request _ -> "copier_request"
   | Copier_reply _ -> "copier_reply"
@@ -107,12 +129,21 @@ let pp_event ppf = function
   | Vote { txn; participant } -> Format.fprintf ppf "vote(T%d,site %d)" txn participant
   | Decide { txn; commit } ->
     Format.fprintf ppf "decide(T%d,%s)" txn (if commit then "commit" else "abort")
-  | Faillock_set { item; for_site } ->
-    Format.fprintf ppf "faillock_set(item %d,site %d)" item for_site
-  | Faillock_cleared { item; for_site } ->
-    Format.fprintf ppf "faillock_cleared(item %d,site %d)" item for_site
+  | Faillock_set { item; for_site; txn } ->
+    Format.fprintf ppf "faillock_set(item %d,site %d%s)" item for_site
+      (match txn with None -> "" | Some id -> Printf.sprintf ",T%d" id)
+  | Faillock_cleared { item; for_site; txn } ->
+    Format.fprintf ppf "faillock_cleared(item %d,site %d%s)" item for_site
+      (match txn with None -> "" | Some id -> Printf.sprintf ",T%d" id)
   | Session_change { about; session; state } ->
     Format.fprintf ppf "session_change(site %d,session %d,%s)" about session state
+  | Site_failed -> Format.fprintf ppf "site_failed"
+  | Recovery_step { step } -> (
+    match step with
+    | Recover_command -> Format.fprintf ppf "recovery_step(recover_command)"
+    | Wal_replayed entries -> Format.fprintf ppf "recovery_step(wal_replayed,%d entries)" entries
+    | Announced session -> Format.fprintf ppf "recovery_step(announced,session %d)" session
+    | State_installed -> Format.fprintf ppf "recovery_step(state_installed)")
   | Control { kind; detail } ->
     Format.fprintf ppf "control(%s%s%s)" (control_kind_name kind)
       (if detail = "" then "" else ",")

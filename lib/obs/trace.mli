@@ -23,6 +23,15 @@ type control_kind = Recovery | Failure_announce | Backup | Clear_special
 (** The paper's control transaction types 1-3 plus the special
     fail-lock-clear transaction. *)
 
+type recovery_step =
+  | Recover_command  (** the recover command reached the site *)
+  | Wal_replayed of int  (** local WAL replay finished; payload = entries *)
+  | Announced of int  (** recovery announced to the cluster; payload = session *)
+  | State_installed  (** cluster state (vector/fail-locks) installed; up *)
+      (** Boundary markers of control-transaction-1 recovery, emitted by
+          the recovering site in this order.  {!Incident} turns them into
+          per-episode timelines. *)
+
 type event =
   | Txn_begin of { txn : int; reads : int; writes : int }
   | Txn_read of { txn : int; item : int; remote : bool }
@@ -35,10 +44,14 @@ type event =
   | Vote of { txn : int; participant : int }
       (** Emitted by the participant when it acknowledges phase 1. *)
   | Decide of { txn : int; commit : bool }
-  | Faillock_set of { item : int; for_site : int }
-  | Faillock_cleared of { item : int; for_site : int }
+  | Faillock_set of { item : int; for_site : int; txn : int option }
+      (** [txn] is the transaction (or negative copier round) whose
+          commit/install caused the transition, when one is in scope. *)
+  | Faillock_cleared of { item : int; for_site : int; txn : int option }
   | Session_change of { about : int; session : int; state : string }
       (** The emitting site's vector entry for site [about] changed. *)
+  | Site_failed  (** The emitting site just crashed (cluster-level mark). *)
+  | Recovery_step of { step : recovery_step }
   | Control of { kind : control_kind; detail : string }
   | Copier_request of { txn : int; source : int; items : int }
       (** [txn] is negative for a batch (two-step recovery) round. *)
@@ -62,6 +75,11 @@ val create : ?capacity:int -> unit -> t
 val sink : t -> sink
 (** A sink appending into this collector. *)
 
+val tee : sink list -> sink
+(** A sink fanning every event out to each of [sinks], in list order.
+    Lets a ring collector and a streaming assembler (e.g.
+    {!Incident.recorder_sink}) observe the same run. *)
+
 val entries : t -> entry list
 (** Retained entries, oldest first (emission order, which is
     chronological in virtual time per site). *)
@@ -81,6 +99,9 @@ val clear : t -> unit
 
 val phase_name : phase -> string
 val control_kind_name : control_kind -> string
+
+val recovery_step_name : recovery_step -> string
+(** Stable snake_case tag ("recover_command", "wal_replayed", ...). *)
 
 val kind : event -> string
 (** Stable snake_case tag of the event constructor ("txn_begin", ...). *)

@@ -23,12 +23,23 @@ let event_fields : Trace.event -> (string * Json.t) list = function
   | Vote { txn; participant } ->
     [ ("txn", Json.Int txn); ("participant", Json.Int participant) ]
   | Decide { txn; commit } -> [ ("txn", Json.Int txn); ("commit", Json.Bool commit) ]
-  | Faillock_set { item; for_site } ->
-    [ ("item", Json.Int item); ("for_site", Json.Int for_site) ]
-  | Faillock_cleared { item; for_site } ->
-    [ ("item", Json.Int item); ("for_site", Json.Int for_site) ]
+  | Faillock_set { item; for_site; txn } ->
+    (* The causing-txn field is optional so pre-attribution consumers of
+       the JSONL wire shape keep parsing unchanged. *)
+    ("item", Json.Int item) :: ("for_site", Json.Int for_site)
+    :: (match txn with None -> [] | Some id -> [ ("txn", Json.Int id) ])
+  | Faillock_cleared { item; for_site; txn } ->
+    ("item", Json.Int item) :: ("for_site", Json.Int for_site)
+    :: (match txn with None -> [] | Some id -> [ ("txn", Json.Int id) ])
   | Session_change { about; session; state } ->
     [ ("about", Json.Int about); ("session", Json.Int session); ("state", Json.Str state) ]
+  | Site_failed -> []
+  | Recovery_step { step } ->
+    ("step", Json.Str (Trace.recovery_step_name step))
+    :: (match step with
+       | Trace.Wal_replayed entries -> [ ("entries", Json.Int entries) ]
+       | Trace.Announced session -> [ ("session", Json.Int session) ]
+       | Trace.Recover_command | Trace.State_installed -> [])
   | Control { kind; detail } ->
     [ ("control", Json.Str (Trace.control_kind_name kind)); ("detail", Json.Str detail) ]
   | Copier_request { txn; source; items } ->
@@ -107,6 +118,11 @@ let chrome ?(messages = []) ~num_sites trace =
          [ ("name", Json.Str (Printf.sprintf "site %d" site)) ])
   done;
   let open_txns : (int * int, open_txn) Hashtbl.t = Hashtbl.create 16 in
+  (* Span-shaped pairs below the phase level: prepare->vote per
+     participant and copier request->reply per source, rendered as
+     duration bars so the causal tree is visible in Perfetto. *)
+  let prepares : (int, Vtime.t) Hashtbl.t = Hashtbl.create 16 in
+  let fetches : (int * int * int, Vtime.t Queue.t) Hashtbl.t = Hashtbl.create 16 in
   let close_phase state at =
     match state.open_phase with
     | None -> ()
@@ -154,8 +170,49 @@ let chrome ?(messages = []) ~num_sites trace =
       | Txn_abort { txn; reason } ->
         close_txn ~site ~txn ~at ~outcome:"abort" [ ("reason", Json.Str reason) ]
       | Txn_read _ | Txn_write _ -> ()
-      | Vote _ | Decide _ | Prepare_sent _ | Faillock_set _ | Faillock_cleared _
-      | Session_change _ | Control _ | Copier_request _ | Copier_reply _ ->
+      | Prepare_sent { txn; _ } ->
+        Hashtbl.replace prepares txn at;
+        push (instant ~name:(Trace.kind event) ~cat:(Trace.kind event) ~tid:site ~ts
+                (event_fields event))
+      | Vote { txn; participant } -> begin
+        match Hashtbl.find_opt prepares txn with
+        | None ->
+          push (instant ~name:(Trace.kind event) ~cat:(Trace.kind event) ~tid:site ~ts
+                  (event_fields event))
+        | Some sent ->
+          push
+            (complete
+               ~name:(Printf.sprintf "vote T%d" txn)
+               ~cat:"vote" ~tid:participant ~ts:(Vtime.to_us sent)
+               ~dur:(Vtime.to_us (Vtime.sub at sent))
+               (event_fields event))
+      end
+      | Copier_request { txn; source; _ } ->
+        let queue =
+          match Hashtbl.find_opt fetches (site, txn, source) with
+          | Some q -> q
+          | None ->
+            let q = Queue.create () in
+            Hashtbl.replace fetches (site, txn, source) q;
+            q
+        in
+        Queue.add at queue
+      | Copier_reply { txn; source; _ } -> begin
+        match Hashtbl.find_opt fetches (site, txn, source) with
+        | Some q when not (Queue.is_empty q) ->
+          let requested = Queue.pop q in
+          push
+            (complete
+               ~name:(Printf.sprintf "fetch T%d <- site %d" txn source)
+               ~cat:"copier" ~tid:site ~ts:(Vtime.to_us requested)
+               ~dur:(Vtime.to_us (Vtime.sub at requested))
+               (event_fields event))
+        | _ ->
+          push (instant ~name:(Trace.kind event) ~cat:(Trace.kind event) ~tid:site ~ts
+                  (event_fields event))
+      end
+      | Decide _ | Faillock_set _ | Faillock_cleared _ | Session_change _ | Site_failed
+      | Recovery_step _ | Control _ ->
         let name =
           match event with
           | Control { kind; _ } -> Trace.control_kind_name kind
@@ -163,6 +220,27 @@ let chrome ?(messages = []) ~num_sites trace =
         in
         push (instant ~name ~cat:(Trace.kind event) ~tid:site ~ts (event_fields event)))
     (Trace.entries trace);
+  (* Recovery incidents render as one enclosing bar per failure episode
+     with its exact phase decomposition nested inside. *)
+  List.iter
+    (fun (incident : Incident.t) ->
+      push
+        (complete
+           ~name:(Printf.sprintf "incident site %d #%d" incident.Incident.site
+                    incident.Incident.episode)
+           ~cat:"incident" ~tid:incident.Incident.site
+           ~ts:(Vtime.to_us incident.Incident.started)
+           ~dur:(Vtime.to_us (Vtime.sub incident.Incident.finished incident.Incident.started))
+           [ ("complete", Json.Bool incident.Incident.complete) ]);
+      List.iter
+        (fun (phase, from_, until) ->
+          push
+            (complete ~name:(Incident.phase_name phase) ~cat:"recovery"
+               ~tid:incident.Incident.site ~ts:(Vtime.to_us from_)
+               ~dur:(Vtime.to_us (Vtime.sub until from_))
+               [ ("site", Json.Int incident.Incident.site) ]))
+        incident.Incident.phases)
+    (Incident.assemble (Trace.entries trace));
   List.iter
     (fun { msg_at; msg_src; msg_dst; msg_label; msg_delivered } ->
       let name = if msg_delivered then msg_label else "undeliverable: " ^ msg_label in

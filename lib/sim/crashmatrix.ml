@@ -105,6 +105,7 @@ type row = {
   r_in_doubt : int;  (** in-doubt prepares left anywhere after recovery *)
   r_knowledge_loss : int;  (** DESIGN.md §11 events recorded by the cell *)
   r_violations : string list;  (** empty iff the cell passed *)
+  r_incidents : Raid_obs.Incident.t list;  (** recovery timelines the cell produced *)
 }
 
 type summary = { rows : row list; cells : int; failed_cells : int }
@@ -177,7 +178,16 @@ let run_cell ~point ~seed ~sites:n ~partial =
         (if partial then Config.Partial (Placement.spec ~factor:3 ()) else Config.Full)
       ~num_sites:n ~num_items ()
   in
-  let cluster = Cluster.create config in
+  (* Every cell records its recovery timelines: crashes and recoveries
+     are the matrix's whole subject, so the incident stream doubles as a
+     cross-check that each cell's cluster really went down and came
+     back. *)
+  let recorder = Raid_obs.Incident.recorder () in
+  let cluster =
+    Cluster.create
+      ~settings:(Cluster.settings ~obs:(Raid_obs.Incident.recorder_sink recorder) ())
+      config
+  in
   let engine = Cluster.engine cluster in
   let all_sites = List.init n Fun.id in
   let violations = ref [] in
@@ -515,6 +525,7 @@ let run_cell ~point ~seed ~sites:n ~partial =
     r_in_doubt = in_doubt_left;
     r_knowledge_loss = Cluster.knowledge_loss_events cluster;
     r_violations = List.rev !violations;
+    r_incidents = Raid_obs.Incident.incidents recorder;
   }
 
 (* {2 The matrix} *)
@@ -561,6 +572,24 @@ let to_csv summary =
            (match r.r_violations with
            | [] -> "ok"
            | v -> String.concat "; " v)))
+    summary.rows;
+  Buffer.contents buf
+
+(* One row per recovery incident across all cells, keyed by the cell's
+   coordinates — the long-form companion to {!to_csv} for studying MTTR
+   phase decomposition over the whole matrix. *)
+let incidents_csv summary =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf ("point,seed,sites,placement," ^ Raid_obs.Incident.csv_header ^ "\n");
+  List.iter
+    (fun r ->
+      List.iter
+        (fun incident ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d,%d,%s,%s\n" r.r_point r.r_seed r.r_sites
+               (if r.r_partial then "partial-k3" else "full")
+               (Raid_obs.Incident.csv_row incident)))
+        r.r_incidents)
     summary.rows;
   Buffer.contents buf
 

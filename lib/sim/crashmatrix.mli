@@ -63,6 +63,9 @@ type row = {
   r_knowledge_loss : int;
       (** DESIGN.md §11 knowledge-loss events the cell recorded *)
   r_violations : string list;  (** empty iff the cell passed *)
+  r_incidents : Raid_obs.Incident.t list;
+      (** recovery timelines recorded by the cell's incident recorder,
+          ordered by start time *)
 }
 
 type summary = { rows : row list; cells : int; failed_cells : int }
@@ -85,5 +88,11 @@ val ok : summary -> bool
 val to_csv : summary -> string
 (** One line per cell, in matrix order; the [status] column is "ok" or
     the violation list.  Byte-identical across [-j] values. *)
+
+val incidents_csv : summary -> string
+(** One line per recovery incident across all cells, prefixed with the
+    cell coordinates (point, seed, sites, placement) and laid out as
+    {!Raid_obs.Incident.csv_header}.  Byte-identical across [-j]
+    values. *)
 
 val table : summary -> Raid_util.Table.t

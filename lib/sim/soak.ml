@@ -9,6 +9,9 @@ module Telemetry = Raid_obs.Telemetry
 module Prom = Raid_obs.Prom
 module Http = Raid_obs.Http
 module Json = Raid_obs.Json
+module Trace = Raid_obs.Trace
+module Incident = Raid_obs.Incident
+module Span = Raid_obs.Span
 module Rng = Raid_util.Rng
 
 type config = {
@@ -55,6 +58,10 @@ type t = {
   cfg : config;
   tenants : tenant array;
   reg : Telemetry.t;
+  (* Recovery observatory over tenant 0: the typed event ring and the
+     streaming incident recorder behind /incidents and /txns/:id. *)
+  obs_trace : Trace.t;
+  obs_recorder : Incident.recorder;
   server : Http.server;
   started : float;  (** wall clock at {!create} *)
   (* live-adjustable workload shape (POST /load), applied to every tenant *)
@@ -216,6 +223,27 @@ let txns_body t =
           ] );
     ]
 
+let incidents_body t =
+  let incidents = Incident.incidents t.obs_recorder in
+  Json.Obj
+    [
+      ("virtual_ms", Json.Float (now_ms t));
+      ("count", Json.Int (List.length incidents));
+      ("dropped_trace_entries", Json.Int (Trace.dropped t.obs_trace));
+      ("incidents", Json.Arr (List.map Incident.json incidents));
+    ]
+
+(* Per-transaction span tree: assembled on demand from whatever the
+   tenant-0 ring still holds (old transactions age out oldest-first;
+   a tree caught mid-drop reports [complete = false]). *)
+let txn_span_action t ~params _req =
+  match int_of_string_opt (List.assoc "id" params) with
+  | None -> Http.error 404 (Printf.sprintf "bad txn id %S" (List.assoc "id" params))
+  | Some id -> (
+    match Span.find (Span.assemble (Trace.entries t.obs_trace)) id with
+    | None -> Http.error 404 (Printf.sprintf "no span tree for txn %d in the ring (tenant 0)" id)
+    | Some tree -> Http.json (Span.json tree))
+
 let health_body t =
   Json.Obj
     [
@@ -349,6 +377,8 @@ let index_body =
       "GET  /metrics           Prometheus text exposition (tenant-labelled when --tenants > 1)";
       "GET  /sites             per-site status across tenants (JSON)";
       "GET  /txns              stream counters + latency histograms (JSON)";
+      "GET  /txns/:id          causal span tree + critical path for one txn (tenant 0)";
+      "GET  /incidents         recovery incident timelines (tenant 0, JSON)";
       "POST /sites/:id/fail    crash a site (tenant 0)";
       "POST /sites/:id/recover bring a site back (tenant 0)";
       "POST /load              adjust workload: max_ops, write_prob, zipf_theta, rate";
@@ -368,6 +398,9 @@ let routes t_ref =
       (with_t (fun t ~params:_ _ -> Http.prom (Prom.render t.reg)));
     Http.route ~meth:"GET" "/sites" (with_t (fun t ~params:_ _ -> Http.json (sites_body t)));
     Http.route ~meth:"GET" "/txns" (with_t (fun t ~params:_ _ -> Http.json (txns_body t)));
+    Http.route ~meth:"GET" "/txns/:id" (with_t txn_span_action);
+    Http.route ~meth:"GET" "/incidents"
+      (with_t (fun t ~params:_ _ -> Http.json (incidents_body t)));
     Http.route ~meth:"POST" "/sites/:id/fail" (with_t fail_action);
     Http.route ~meth:"POST" "/sites/:id/recover" (with_t recover_action);
     Http.route ~meth:"POST" "/load" (with_t load_action);
@@ -375,6 +408,11 @@ let routes t_ref =
 
 let create cfg =
   let reg = Telemetry.create ~interval:cfg.sample () in
+  (* The recovery observatory watches tenant 0 only — the tenant the
+     operator fail/recover endpoints address, so its ring holds exactly
+     the incidents those actions produce. *)
+  let obs_trace = Trace.create () in
+  let obs_sink, obs_recorder = Monitor.attach_observatory reg obs_trace in
   let ccfg =
     Config.make ~replication:cfg.replication ~num_sites:cfg.sites ~num_items:cfg.items ()
   in
@@ -383,7 +421,10 @@ let create cfg =
        single-tenant soak exposes the exact historical series names. *)
     let telemetry_labels = if cfg.tenants > 1 then [ ("tenant", string_of_int i) ] else [] in
     let tn_cluster =
-      Cluster.of_spec (Cluster.Spec.make ~telemetry:reg ~telemetry_labels ccfg)
+      Cluster.of_spec
+        (Cluster.Spec.make ~telemetry:reg ~telemetry_labels
+           ?obs:(if i = 0 then Some obs_sink else None)
+           ccfg)
     in
     (* Tenant 0 reproduces the historical single-tenant stream; the rest
        get independent mixed streams (cf. Raid_multi). *)
@@ -409,6 +450,8 @@ let create cfg =
       cfg;
       tenants;
       reg;
+      obs_trace;
+      obs_recorder;
       server;
       started = Unix.gettimeofday ();
       max_ops = cfg.max_ops;

@@ -64,6 +64,8 @@ type result = {
   messages_sent : int;
   recovered : bool;  (** the failed site completed control-1 (no failure = true) *)
   windows : window list;  (** per-virtual-second activity, ascending start time *)
+  incidents : Raid_obs.Incident.t list;
+      (** recovery timelines; empty unless the run recorded incidents *)
 }
 
 let txns_per_vsec r =
@@ -85,12 +87,17 @@ let events_per_sec ~wall_s r =
    The optional failure/recovery pair fires at absolute virtual times
    mid-run, so the measurement covers normal processing, the degraded
    window and the recovery tail in one trajectory. *)
-let run ?(seed = 42) ?telemetry config =
+let run ?(seed = 42) ?telemetry ?(record_incidents = false) config =
   let ccfg =
     Config.make ~replication:config.replication ~num_sites:config.sites
       ~num_items:config.items ()
   in
-  let cluster = Cluster.create ~settings:(Cluster.settings ?telemetry ()) ccfg in
+  (* Incident recording rides the trace-sink hook: opt-in because the
+     per-event closure call is measurable at benchmark scale, and the
+     benchmark's deterministic fields must not depend on it either way. *)
+  let recorder = if record_incidents then Some (Raid_obs.Incident.recorder ()) else None in
+  let obs = Option.map Raid_obs.Incident.recorder_sink recorder in
+  let cluster = Cluster.create ~settings:(Cluster.settings ?telemetry ?obs ()) ccfg in
   let engine = Cluster.engine cluster in
   let metrics = Cluster.metrics cluster in
   let rng = Rng.create seed in
@@ -198,6 +205,8 @@ let run ?(seed = 42) ?telemetry config =
     events = counters.Engine.delivered + counters.Engine.timer_fired;
     messages_sent = counters.Engine.sent;
     recovered = (match config.failure with None -> true | Some _ -> !recovered_once);
+    incidents =
+      (match recorder with None -> [] | Some r -> Raid_obs.Incident.incidents r);
     windows =
       (let raw =
          List.sort compare (Hashtbl.fold (fun w v acc -> (w, v) :: acc) windows [])
@@ -221,9 +230,11 @@ let run ?(seed = 42) ?telemetry config =
 
 (* Multi-seed sweep: each seed is an independent pure run, so the batch
    fans out over the domain pool with bit-identical results for any -j. *)
-let run_seeds ?domains ?(base_seed = 42) ~seeds config =
+let run_seeds ?domains ?(base_seed = 42) ?record_incidents ~seeds config =
   if seeds <= 0 then invalid_arg "Throughput: seeds must be positive";
-  Pool.map ?domains (fun seed -> run ~seed config) (List.init seeds (fun i -> base_seed + i))
+  Pool.map ?domains
+    (fun seed -> run ~seed ?record_incidents config)
+    (List.init seeds (fun i -> base_seed + i))
 
 let results_table ~config results =
   let table =

@@ -72,16 +72,24 @@ type result = {
   messages_sent : int;
   recovered : bool;
   windows : window list;  (** ascending start time *)
+  incidents : Raid_obs.Incident.t list;
+      (** recovery timelines of the staged failure; empty unless the run
+          was started with [record_incidents] *)
 }
 
-val run : ?seed:int -> ?telemetry:Raid_obs.Telemetry.t -> config -> result
+val run :
+  ?seed:int -> ?telemetry:Raid_obs.Telemetry.t -> ?record_incidents:bool -> config -> result
 (** One deterministic run: a pure function of [seed] and [config].
     [telemetry] is instrumented over the cluster
     ({!Raid_core.Cluster.create}) and sampled in virtual time as the
     stream runs, with a final sample at the end; it observes the run
-    without changing any result field. *)
+    without changing any result field.  [record_incidents] (default
+    false) attaches an {!Raid_obs.Incident.recorder} and fills
+    [result.incidents]; like telemetry it observes without perturbing
+    the virtual-time results. *)
 
-val run_seeds : ?domains:int -> ?base_seed:int -> seeds:int -> config -> result list
+val run_seeds :
+  ?domains:int -> ?base_seed:int -> ?record_incidents:bool -> seeds:int -> config -> result list
 (** [seeds] independent runs ([base_seed], [base_seed+1], ...) fanned out
     over the domain pool; result order and contents are bit-identical for
     any domain count. *)

@@ -53,6 +53,8 @@ let run ?capacity scenario =
     num_sites = Cluster.num_sites result.Runner.cluster;
   }
 
+let spans output = Raid_obs.Span.assemble (Trace.entries output.trace)
+let incidents output = Raid_obs.Incident.assemble (Trace.entries output.trace)
 let jsonl output = Trace_export.jsonl output.trace
 
 let chrome output =

@@ -36,6 +36,14 @@ val run : ?capacity:int -> Scenario.t -> output
     when a run emits more, the oldest entries are dropped and counted —
     check {!Raid_obs.Trace.dropped} on [output.trace] and warn. *)
 
+val spans : output -> Raid_obs.Span.tree list
+(** Causal span trees assembled from the collected entries, one per
+    transaction, sorted by id. *)
+
+val incidents : output -> Raid_obs.Incident.t list
+(** Recovery timelines assembled from the collected entries, ordered by
+    start time. *)
+
 val jsonl : output -> string
 val chrome : output -> string
 val summary : output -> string

@@ -149,6 +149,64 @@ let test_fail_and_recover () =
       let status, _ = post soak "/sites/99/fail" in
       Alcotest.(check int) "unknown site is 404" 404 status)
 
+(* The observatory endpoints: /incidents reports tenant-0 recovery
+   timelines assembled live, /txns/:id serves one transaction's span
+   tree — both bodies must parse and carry the documented fields. *)
+let test_observatory_endpoints () =
+  with_soak (fun soak ->
+      for _ = 1 to 3 do
+        Soak.tick ~timeout:0.0 soak
+      done;
+      (* No failures yet: an empty but well-formed incident report. *)
+      let status, body = get soak "/incidents" in
+      Alcotest.(check int) "incidents 200" 200 status;
+      let json = json_exn body in
+      Alcotest.(check int) "no incidents before a failure" 0 (int_member "count" json);
+      Alcotest.(check bool) "dropped counter present" true
+        (Json.member "dropped_trace_entries" json <> None);
+      (* Unknown and malformed span lookups. *)
+      let status, _ = get soak "/txns/999999" in
+      Alcotest.(check int) "unknown txn 404" 404 status;
+      let status, _ = get soak "/txns/not-a-number" in
+      Alcotest.(check int) "malformed txn id 404" 404 status;
+      (* A transaction's span tree is served by id: ids are dense from
+         1, so probe for the first one still in the ring. *)
+      let found_id, body =
+        let rec probe id =
+          if id > 50 then Alcotest.fail "no span tree for any txn id in 1..50"
+          else
+            match get soak (Printf.sprintf "/txns/%d" id) with
+            | 200, body -> (id, body)
+            | _ -> probe (id + 1)
+        in
+        probe 1
+      in
+      let span = json_exn body in
+      Alcotest.(check int) "span is for the requested txn" found_id (int_member "txn" span);
+      Alcotest.(check bool) "span has a critical path" true
+        (Json.member "critical_path" span <> None);
+      (* Fail and recover a site; the incident shows up with tiling
+         phases once the stream drains the fail-locks. *)
+      let status, _ = post soak "/sites/1/fail" in
+      Alcotest.(check int) "fail 200" 200 status;
+      for _ = 1 to 5 do
+        Soak.tick ~timeout:0.0 soak
+      done;
+      let status, _ = post soak "/sites/1/recover" in
+      Alcotest.(check int) "recover 200" 200 status;
+      for _ = 1 to 30 do
+        Soak.tick ~timeout:0.0 soak
+      done;
+      let _, body = get soak "/incidents" in
+      let json = json_exn body in
+      Alcotest.(check bool) "an incident is reported" true (int_member "count" json >= 1);
+      match Json.member "incidents" json with
+      | Some (Json.Arr (incident :: _)) ->
+        Alcotest.(check int) "incident names the failed site" 1 (int_member "site" incident);
+        Alcotest.(check bool) "incident carries phases" true
+          (Json.member "phases" incident <> None)
+      | _ -> Alcotest.fail "missing incidents array")
+
 let test_last_site_guard () =
   with_soak ~sites:2 (fun soak ->
       Soak.tick ~timeout:0.0 soak;
@@ -197,6 +255,7 @@ let suite =
   [
     Alcotest.test_case "loopback round trip" `Quick test_round_trip;
     Alcotest.test_case "fail and recover via POST" `Quick test_fail_and_recover;
+    Alcotest.test_case "observatory endpoints" `Quick test_observatory_endpoints;
     Alcotest.test_case "last operational site guard" `Quick test_last_site_guard;
     Alcotest.test_case "live load adjustment" `Quick test_load_adjustment;
     Alcotest.test_case "shutdown summary" `Quick test_shutdown_summary;
